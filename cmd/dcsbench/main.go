@@ -1,0 +1,117 @@
+// Command dcsbench regenerates the paper's tables and figures on the
+// simulated testbed and prints them, plus a paper-vs-measured summary
+// of the headline claims.
+//
+// Usage:
+//
+//	dcsbench            # run everything
+//	dcsbench -only fig11a,table4
+//	dcsbench -list      # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcsctrl/internal/bench"
+)
+
+var experiments = []string{
+	"table1", "table2", "table3", "table4",
+	"fig2", "fig3", "fig8", "fig11a", "fig11b", "fig12", "fig13", "fig13sim", "sweep",
+	"headlines",
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments, "\n"))
+		return
+	}
+	want := map[string]bool{}
+	if *only == "" {
+		for _, e := range experiments {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*only, ",") {
+			e = strings.TrimSpace(e)
+			ok := false
+			for _, known := range experiments {
+				if e == known {
+					ok = true
+				}
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dcsbench: unknown experiment %q (try -list)\n", e)
+				os.Exit(2)
+			}
+			want[e] = true
+		}
+	}
+	w := os.Stdout
+
+	if want["table1"] {
+		bench.Table1(w)
+	}
+	if want["table2"] {
+		bench.Table2(w)
+	}
+	if want["table3"] {
+		bench.Table3(w)
+	}
+	if want["table4"] {
+		bench.Table4(w)
+	}
+	if want["fig2"] {
+		bench.RenderTimeline(w, bench.Figure2Timeline())
+	}
+	if want["fig3"] {
+		bench.RunFigure3().Render(w)
+	}
+	if want["fig8"] {
+		bench.RunFigure8().Render(w)
+	}
+
+	var f11a, f11b bench.Figure11
+	if want["fig11a"] || want["headlines"] {
+		f11a = bench.Figure11a()
+		if want["fig11a"] {
+			f11a.Render(w)
+		}
+	}
+	if want["fig11b"] || want["headlines"] {
+		f11b = bench.Figure11b()
+		if want["fig11b"] {
+			f11b.Render(w)
+		}
+	}
+
+	var f12 bench.Figure12
+	var f13 bench.Figure13
+	if want["fig12"] || want["fig13"] || want["headlines"] {
+		f12 = bench.RunFigure12(bench.DefaultFig12Swift(), bench.DefaultFig12HDFS())
+		if want["fig12"] {
+			f12.Render(w)
+		}
+		f13 = bench.ProjectFigure13(f12)
+		if want["fig13"] {
+			f13.Render(w)
+		}
+	}
+	if want["fig13sim"] {
+		bench.RunFigure13Sim().Render(w)
+	}
+	if want["sweep"] {
+		bench.RunSizeSweep(0).Render(w) // ProcNone
+		bench.RunSizeSweep(bench.ProcMD5).Render(w)
+	}
+	if want["headlines"] {
+		bench.Headlines(f11a, f11b, f12, f13).Render(w)
+	}
+}

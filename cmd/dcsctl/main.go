@@ -1,0 +1,126 @@
+// Command dcsctl runs a single multi-device operation on a chosen
+// server configuration and reports latency, breakdown, digest, and
+// server CPU — the interactive one-off counterpart of dcsbench.
+//
+// Usage:
+//
+//	dcsctl -config dcs-ctrl -op send -size 262144 -proc md5 -n 4
+//	dcsctl -config sw-p2p   -op recv -size 1048576 -proc crc32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcsctrl/internal/core"
+	"dcsctrl/internal/sim"
+	"dcsctrl/internal/trace"
+)
+
+func main() {
+	cfgName := flag.String("config", "dcs-ctrl", "vanilla|sw-opt|sw-p2p|dev-integration|dcs-ctrl")
+	op := flag.String("op", "send", "send (SSD->NIC) or recv (NIC->SSD)")
+	size := flag.Int("size", 256<<10, "bytes per operation")
+	procName := flag.String("proc", "md5", "none|md5|crc32|aes256|gzip")
+	count := flag.Int("n", 1, "operations to run back to back")
+	flag.Parse()
+
+	kind, proc, err := parse(*cfgName, *procName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcsctl:", err)
+		os.Exit(2)
+	}
+
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, kind, core.DefaultParams())
+	content := make([]byte, *size)
+	for i := range content {
+		content[i] = byte(i * 13)
+	}
+	conn := cl.OpenConn(true)
+
+	var results []core.OpResult
+	switch *op {
+	case "send":
+		f, err := cl.Server.StageFile("obj", content)
+		must(err)
+		env.Spawn("server", func(p *sim.Proc) {
+			for i := 0; i < *count; i++ {
+				res, err := cl.Server.SendFileOp(p, f, 0, *size, conn.ID, proc)
+				must(err)
+				results = append(results, res)
+			}
+		})
+		env.Spawn("client", func(p *sim.Proc) {
+			cl.ClientRecv(p, conn, *count**size)
+		})
+	case "recv":
+		f, err := cl.Server.FS.Create("upload", *size)
+		must(err)
+		env.Spawn("client", func(p *sim.Proc) {
+			for i := 0; i < *count; i++ {
+				cl.ClientSend(p, conn, content)
+			}
+		})
+		env.Spawn("server", func(p *sim.Proc) {
+			for i := 0; i < *count; i++ {
+				res, err := cl.Server.RecvFileOp(p, conn.ID, f, 0, *size, proc)
+				must(err)
+				results = append(results, res)
+			}
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "dcsctl: unknown op %q\n", *op)
+		os.Exit(2)
+	}
+	end := env.Run(-1)
+
+	var lat trace.Sample
+	for _, r := range results {
+		lat.AddTime(r.Latency)
+	}
+	fmt.Printf("%s %s ×%d, %d bytes each, processing=%s\n", kind, *op, *count, *size, proc)
+	fmt.Printf("latency µs: mean=%.1f p50=%.1f min=%.1f max=%.1f\n",
+		lat.Mean(), lat.Percentile(50), lat.Min(), lat.Max())
+	if len(results) > 0 {
+		fmt.Printf("last breakdown: %v\n", results[len(results)-1].Breakdown)
+		if d := results[len(results)-1].Digest; len(d) > 0 {
+			fmt.Printf("digest: %x\n", d)
+		}
+	}
+	busy := cl.Server.Host.Acct.TotalBusy()
+	fmt.Printf("server CPU busy %v over %v (%.1f%% of %d cores)\n",
+		busy, end, cl.Server.Host.Utilization()*100, core.DefaultParams().Host.Cores)
+	gbps := float64(*count**size) * 8 / end.Seconds() / 1e9
+	fmt.Printf("delivered %.2f Gbps\n", gbps)
+}
+
+func parse(cfgName, procName string) (core.Config, core.Processing, error) {
+	var kind core.Config
+	found := false
+	for _, k := range []core.Config{core.Vanilla, core.SWOpt, core.SWP2P, core.DevIntegration, core.DCSCtrl} {
+		if k.String() == cfgName {
+			kind, found = k, true
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("unknown config %q", cfgName)
+	}
+	procs := map[string]core.Processing{
+		"none": core.ProcNone, "md5": core.ProcMD5, "crc32": core.ProcCRC32,
+		"aes256": core.ProcAES256, "gzip": core.ProcGZIP,
+	}
+	proc, ok := procs[procName]
+	if !ok {
+		return 0, 0, fmt.Errorf("unknown processing %q", procName)
+	}
+	return kind, proc, nil
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcsctl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command dcstrace prints a Figure 2-style device-control timeline:
+// where the control path spends its time on a multi-device task, for
+// any server configuration.
+//
+// Usage:
+//
+//	dcstrace [-config sw-opt|sw-p2p|vanilla|dcs-ctrl] [-size 4096] [-proc none|md5|crc32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcsctrl/internal/core"
+	"dcsctrl/internal/sim"
+)
+
+func parseConfig(s string) (core.Config, bool) {
+	for _, k := range []core.Config{core.Vanilla, core.SWOpt, core.SWP2P, core.DevIntegration, core.DCSCtrl} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+func parseProc(s string) (core.Processing, bool) {
+	switch s {
+	case "none":
+		return core.ProcNone, true
+	case "md5":
+		return core.ProcMD5, true
+	case "crc32":
+		return core.ProcCRC32, true
+	case "aes256":
+		return core.ProcAES256, true
+	case "gzip":
+		return core.ProcGZIP, true
+	}
+	return 0, false
+}
+
+func main() {
+	cfgName := flag.String("config", "sw-opt", "server configuration")
+	size := flag.Int("size", 4096, "transfer size in bytes")
+	procName := flag.String("proc", "md5", "intermediate processing")
+	flag.Parse()
+
+	kind, ok := parseConfig(*cfgName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dcstrace: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+	proc, ok := parseProc(*procName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dcstrace: unknown processing %q\n", *procName)
+		os.Exit(2)
+	}
+
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, kind, core.DefaultParams())
+	content := make([]byte, *size)
+	f, err := cl.Server.StageFile("obj", content)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcstrace:", err)
+		os.Exit(1)
+	}
+	conn := cl.OpenConn(true)
+	cl.Server.StartTrace()
+	var res core.OpResult
+	env.Spawn("server", func(p *sim.Proc) {
+		res, err = cl.Server.SendFileOp(p, f, 0, *size, conn.ID, proc)
+	})
+	env.Spawn("client", func(p *sim.Proc) { cl.ClientRecv(p, conn, *size) })
+	env.Run(-1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcstrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("device-control timeline: %s, %d bytes, %s processing\n", kind, *size, proc)
+	fmt.Printf("total latency %v\n\n", res.Latency)
+	fmt.Printf("  %-12s %-8s %s\n", "time", "domain", "event")
+	fmt.Printf("  %-12s %-8s %s\n", "----", "------", "-----")
+	for _, e := range cl.Server.StopTrace() {
+		fmt.Printf("  %-12v %-8s %s\n", e.At, e.Where, e.What)
+	}
+	fmt.Printf("\nlatency breakdown: %v\n", res.Breakdown)
+}

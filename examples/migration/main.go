@@ -1,0 +1,64 @@
+// Migration example: rebalance objects across SSDs entirely through
+// the HDC Engine — SSD→[CRC32]→SSD copies with zero host data-path
+// CPU, the flexibility story of attaching more off-the-shelf devices
+// to the same engine (§III-C).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dcsctrl"
+)
+
+func main() {
+	params := dcsctrl.DefaultParams()
+	params.NumSSDs = 4
+	tb := dcsctrl.NewTestbed(dcsctrl.DCSCtrl, dcsctrl.WithParams(params))
+
+	// Stage objects; round-robin placement lands them on SSDs 0..3.
+	const objSize = 512 << 10
+	var srcs []*dcsctrl.File
+	contents := make([][]byte, 4)
+	for i := range contents {
+		contents[i] = bytes.Repeat([]byte{byte('A' + i)}, objSize)
+		f, err := tb.StageFile(fmt.Sprintf("obj-%d", i), contents[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		srcs = append(srcs, f)
+	}
+	// Destination files continue the round robin onto the same SSDs,
+	// shifted — every copy crosses devices.
+	var dsts []*dcsctrl.File
+	for i := range srcs {
+		f, err := tb.CreateFile(fmt.Sprintf("moved-%d", i), objSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dsts = append(dsts, f)
+	}
+
+	tb.Go("migrator", func(p *dcsctrl.Proc) {
+		for i := range srcs {
+			res, err := tb.CopyFile(p, srcs[i], 0, dsts[i], 0, objSize, dcsctrl.ProcCRC32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("moved obj-%d -> moved-%d in %v (crc32 %x)\n", i, i, res.Latency, res.Digest)
+		}
+	})
+	end := tb.Run()
+
+	ok := true
+	for i := range dsts {
+		if !bytes.Equal(tb.ReadBack(dsts[i]), contents[i]) {
+			ok = false
+		}
+	}
+	fmt.Printf("\nmigrated %d objects (%d KiB each) in %v total; verified: %v\n",
+		len(srcs), objSize>>10, end, ok)
+	fmt.Printf("host CPU spent: %.1f%% of six cores — the data never touched the host\n",
+		tb.ServerUtilization()*100)
+}

@@ -1,0 +1,3 @@
+module dcsctrl
+
+go 1.22

@@ -1,0 +1,205 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"dcsctrl/internal/core"
+	"dcsctrl/internal/sim"
+	"dcsctrl/internal/trace"
+	"dcsctrl/internal/workload"
+)
+
+// smallSwift returns a config small enough for unit testing.
+func smallSwift() SwiftConfig {
+	cfg := DefaultSwiftConfig()
+	cfg.Conns = 4
+	cfg.Warmup = 1 * sim.Millisecond
+	cfg.Duration = 8 * sim.Millisecond
+	cfg.MeanGap = 300 * sim.Microsecond
+	cfg.Sizes = workload.NewSizeDist([]workload.SizeBucket{
+		{Weight: 0.5, Min: 8 << 10, Max: 64 << 10},
+		{Weight: 0.5, Min: 64 << 10, Max: 256 << 10},
+	})
+	return cfg
+}
+
+func TestSwiftRunsOnAllConfigs(t *testing.T) {
+	for _, kind := range []core.Config{core.SWOpt, core.SWP2P, core.DCSCtrl} {
+		env := sim.NewEnv()
+		cl := core.NewCluster(env, kind, core.DefaultParams())
+		res, err := RunSwift(env, cl, smallSwift())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%v: %d request errors", kind, res.Errors)
+		}
+		if res.Requests < 20 {
+			t.Fatalf("%v: only %d requests completed", kind, res.Requests)
+		}
+		if res.GETs == 0 || res.PUTs == 0 {
+			t.Fatalf("%v: GETs=%d PUTs=%d", kind, res.GETs, res.PUTs)
+		}
+		if res.Gbps <= 0 {
+			t.Fatalf("%v: throughput %v", kind, res.Gbps)
+		}
+		if res.ServerCPU <= 0 || res.ServerCPU > 1 {
+			t.Fatalf("%v: server CPU %v", kind, res.ServerCPU)
+		}
+	}
+}
+
+func TestSwiftDCSUsesLessCPUAtSameLoad(t *testing.T) {
+	// Use the evaluation's size mixture: with tiny objects the common
+	// per-request application cost dominates both designs and the gap
+	// narrows (an observable model property, not a bug).
+	cfg := smallSwift()
+	cfg.Sizes = workload.DropboxSizes()
+	util := func(kind core.Config) (float64, float64) {
+		env := sim.NewEnv()
+		cl := core.NewCluster(env, kind, core.DefaultParams())
+		res, err := RunSwift(env, cl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ServerCPU, res.Gbps
+	}
+	p2pCPU, p2pGbps := util(core.SWP2P)
+	dcsCPU, dcsGbps := util(core.DCSCtrl)
+	// Same arrival process: throughput should be comparable (DCS never
+	// slower), and CPU much lower.
+	if dcsGbps < p2pGbps*0.9 {
+		t.Fatalf("DCS throughput %.2f << SW-P2P %.2f at same load", dcsGbps, p2pGbps)
+	}
+	ratio := dcsCPU / p2pCPU
+	if ratio > 0.7 {
+		t.Fatalf("DCS CPU ratio %.2f, want well below 1 (paper ~0.48)", ratio)
+	}
+}
+
+func TestSwiftDCSBreakdownHasNoGPUOrDataCopy(t *testing.T) {
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, core.DCSCtrl, core.DefaultParams())
+	res, err := RunSwift(env, cl, smallSwift())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerBusy[trace.CatGPUCtrl] != 0 || res.ServerBusy[trace.CatGPUCopy] != 0 {
+		t.Fatal("DCS server charged GPU categories")
+	}
+	if res.ServerBusy[trace.CatHDCDriver] == 0 {
+		t.Fatal("DCS server charged no HDC driver time")
+	}
+	if res.ServerBusy[trace.CatDataCopy] > res.ServerBusy[trace.CatNetStack] {
+		// Control-plane copies only: must be small.
+		t.Fatalf("data-copy %v too high for DCS", res.ServerBusy[trace.CatDataCopy])
+	}
+}
+
+func TestSwiftDeterministicReplay(t *testing.T) {
+	run := func() string {
+		env := sim.NewEnv()
+		cl := core.NewCluster(env, core.DCSCtrl, core.DefaultParams())
+		res, err := RunSwift(env, cl, smallSwift())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d %d %d %v", res.Requests, res.GETs, res.Bytes, res.Elapsed)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %s vs %s", a, b)
+	}
+}
+
+func TestHDFSRunsAndMovesBlocks(t *testing.T) {
+	for _, kind := range []core.Config{core.SWOpt, core.DCSCtrl} {
+		env := sim.NewEnv()
+		cl := core.NewClusterWithClient(env, kind, kind, core.DefaultParams())
+		cfg := DefaultHDFSConfig()
+		cfg.Streams = 2
+		cfg.BlockSize = 512 << 10
+		cfg.Warmup = 1 * sim.Millisecond
+		cfg.Duration = 10 * sim.Millisecond
+		res, err := RunHDFS(env, cl, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("%v: %d errors", kind, res.Errors)
+		}
+		if res.Blocks < 4 {
+			t.Fatalf("%v: only %d blocks moved", kind, res.Blocks)
+		}
+		if res.Gbps <= 1 {
+			t.Fatalf("%v: throughput %.2f Gbps", kind, res.Gbps)
+		}
+		if res.SenderCPU <= 0 || res.ReceiverCPU <= 0 {
+			t.Fatalf("%v: CPU sender=%v receiver=%v", kind, res.SenderCPU, res.ReceiverCPU)
+		}
+	}
+}
+
+func TestHDFSDCSReducesBothSides(t *testing.T) {
+	measure := func(kind core.Config) (float64, float64, float64) {
+		env := sim.NewEnv()
+		cl := core.NewClusterWithClient(env, kind, kind, core.DefaultParams())
+		cfg := DefaultHDFSConfig()
+		cfg.Streams = 2
+		cfg.BlockSize = 512 << 10
+		cfg.Warmup = 1 * sim.Millisecond
+		cfg.Duration = 10 * sim.Millisecond
+		res, err := RunHDFS(env, cl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SenderCPU, res.ReceiverCPU, res.Gbps
+	}
+	sSend, sRecv, sGbps := measure(core.SWP2P)
+	dSend, dRecv, dGbps := measure(core.DCSCtrl)
+	if dGbps < sGbps*0.9 {
+		t.Fatalf("DCS HDFS throughput %.2f << SW %.2f", dGbps, sGbps)
+	}
+	// DCS may deliver more bandwidth, so compare CPU per delivered
+	// Gbps (the quantity Figure 12b holds constant).
+	if dSend/dGbps >= sSend/sGbps {
+		t.Fatalf("sender CPU/Gbps: DCS %.4f >= SW %.4f", dSend/dGbps, sSend/sGbps)
+	}
+	if dRecv/dGbps >= sRecv/sGbps {
+		t.Fatalf("receiver CPU/Gbps: DCS %.4f >= SW %.4f", dRecv/dGbps, sRecv/sGbps)
+	}
+}
+
+func TestSwiftBadConfigRejected(t *testing.T) {
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, core.SWOpt, core.DefaultParams())
+	if _, err := RunSwift(env, cl, SwiftConfig{Conns: 0}); err == nil {
+		t.Fatal("zero connections accepted")
+	}
+}
+
+func TestHDFSBadConfigRejected(t *testing.T) {
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, core.SWOpt, core.DefaultParams())
+	if _, err := RunHDFS(env, cl, HDFSConfig{Streams: 0}); err == nil {
+		t.Fatal("zero streams accepted")
+	}
+}
+
+func TestSwiftLatencyPercentiles(t *testing.T) {
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, core.DCSCtrl, core.DefaultParams())
+	res, err := RunSwift(env, cl, smallSwift())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GETLatency.N() == 0 || res.PUTLatency.N() == 0 {
+		t.Fatalf("no latency samples: GET=%d PUT=%d", res.GETLatency.N(), res.PUTLatency.N())
+	}
+	if res.GETLatency.Percentile(50) <= 0 {
+		t.Fatal("zero GET p50")
+	}
+	if res.GETLatency.Percentile(99) < res.GETLatency.Percentile(50) {
+		t.Fatal("p99 below p50")
+	}
+}

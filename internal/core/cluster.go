@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/nic"
+	"dcsctrl/internal/sim"
+	"dcsctrl/internal/trace"
+)
+
+// Cluster is the paper's two-node setup: the server under test plus a
+// client load generator, NICs connected back to back. The client is
+// always a plain optimized-software host — its CPU is not what the
+// experiments measure.
+type Cluster struct {
+	Env    *sim.Env
+	Server *Node
+	Client *Node
+
+	nextConn uint64
+	nextPort uint16
+}
+
+// serverIP and clientIP address the two nodes.
+var (
+	serverIP  = ether.IP{10, 0, 0, 1}
+	clientIP  = ether.IP{10, 0, 0, 2}
+	serverMAC = ether.MAC{0x02, 0, 0, 0, 0, 1}
+	clientMAC = ether.MAC{0x02, 0, 0, 0, 0, 2}
+)
+
+// NewCluster builds a server of the given configuration and a plain
+// optimized-software client, and wires their NICs together.
+func NewCluster(env *sim.Env, kind Config, params Params) *Cluster {
+	return NewClusterWithClient(env, kind, SWOpt, params)
+}
+
+// NewClusterWithClient builds both nodes with explicit configurations
+// (the HDFS balancer experiment measures sender and receiver, so both
+// run the design under test).
+func NewClusterWithClient(env *sim.Env, serverKind, clientKind Config, params Params) *Cluster {
+	c := &Cluster{
+		Env:      env,
+		Server:   NewNode(env, "server", serverKind, params),
+		Client:   NewNode(env, "client", clientKind, params),
+		nextConn: 1,
+		nextPort: 40000,
+	}
+	nic.Connect(c.Server.NIC, c.Client.NIC)
+	return c
+}
+
+// Conn is one established connection between server and client, as a
+// pair of endpoint IDs (the same ID on both nodes).
+type Conn struct {
+	ID         uint64
+	ServerData bool // true when the server endpoint is engine-owned
+}
+
+// OpenConn establishes a TCP-lite connection. dataPlane selects
+// whether the server endpoint is handed to the HDC Engine (DCS-ctrl
+// servers) or terminated by the host stack; the client endpoint is
+// always host-terminated.
+func (c *Cluster) OpenConn(dataPlane bool) Conn {
+	id := c.nextConn
+	c.nextConn++
+	port := c.nextPort
+	c.nextPort++
+	serverFlow := ether.Flow{
+		SrcMAC: serverMAC, DstMAC: clientMAC,
+		SrcIP: serverIP, DstIP: clientIP,
+		SrcPort: 8000 + uint16(id%1000), DstPort: port,
+	}
+	engineOwned := dataPlane && c.Server.Kind == DCSCtrl
+	if engineOwned {
+		c.Server.Driver.Connect(id, serverFlow, 0, 0)
+	} else {
+		c.Server.OpenHostConn(id, serverFlow)
+	}
+	if dataPlane && c.Client.Kind == DCSCtrl {
+		c.Client.Driver.Connect(id, serverFlow.Reverse(), 0, 0)
+	} else {
+		c.Client.OpenHostConn(id, serverFlow.Reverse())
+	}
+	return Conn{ID: id, ServerData: engineOwned}
+}
+
+// ClientSend transmits payload bytes from the client on a connection
+// (load-generation path; client CPU is charged but not reported).
+func (c *Cluster) ClientSend(p *sim.Proc, conn Conn, payload []byte) {
+	buf := c.Client.allocHost(uint64(len(payload)) + 4096)
+	c.Client.MM.Write(buf, payload)
+	c.Client.hostNetSend(p, trace.NewBreakdown(), conn.ID, buf, len(payload))
+}
+
+// ClientRecv blocks until the client has received n bytes on the
+// connection and returns them.
+func (c *Cluster) ClientRecv(p *sim.Proc, conn Conn, n int) []byte {
+	return c.Client.hostNetRecv(p, trace.NewBreakdown(), conn.ID, n)
+}
+
+// ServerRecv receives on a host-terminated server connection (control
+// messages; works on every configuration).
+func (c *Cluster) ServerRecv(p *sim.Proc, bd *trace.Breakdown, conn Conn, n int) []byte {
+	if conn.ServerData {
+		panic("core: ServerRecv on an engine-owned connection")
+	}
+	if bd == nil {
+		bd = trace.NewBreakdown()
+	}
+	return c.Server.hostNetRecv(p, bd, conn.ID, n)
+}
+
+// ServerSend transmits from the server host stack on a
+// host-terminated connection.
+func (c *Cluster) ServerSend(p *sim.Proc, bd *trace.Breakdown, conn Conn, payload []byte) {
+	if conn.ServerData {
+		panic("core: ServerSend on an engine-owned connection")
+	}
+	if bd == nil {
+		bd = trace.NewBreakdown()
+	}
+	buf := c.Server.allocHost(uint64(len(payload)) + 4096)
+	c.Server.MM.Write(buf, payload)
+	c.Server.hostNetSend(p, bd, conn.ID, buf, len(payload))
+}
+
+// Validate checks that the cluster wiring is consistent.
+func (c *Cluster) Validate() error {
+	if c.Server.Kind == DCSCtrl && c.Server.Engine == nil {
+		return fmt.Errorf("core: DCS server without engine")
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import "fmt"
+
+// Scalability is the paper's Figure 13 projection: measure CPU cost
+// per unit of delivered bandwidth at 10 GbE, then extrapolate to a
+// 40-Gbps NIC and six SSDs under a fixed core budget. Device time
+// scales with the added hardware; CPU cost per byte is the invariant.
+type Scalability struct {
+	// CoresPerGbps is the measured CPU cost: cores consumed per Gbps
+	// of delivered application throughput.
+	CoresPerGbps float64
+}
+
+// NewScalability derives the projection from a measured operating
+// point: utilization (0..1 across cores) at measuredGbps.
+func NewScalability(measuredGbps, utilization float64, cores int) (Scalability, error) {
+	if measuredGbps <= 0 || utilization <= 0 || cores <= 0 {
+		return Scalability{}, fmt.Errorf("core: bad operating point (%.2f Gbps, %.2f util, %d cores)",
+			measuredGbps, utilization, cores)
+	}
+	return Scalability{CoresPerGbps: utilization * float64(cores) / measuredGbps}, nil
+}
+
+// CoresAt returns the cores needed to sustain gbps.
+func (s Scalability) CoresAt(gbps float64) float64 {
+	return s.CoresPerGbps * gbps
+}
+
+// MaxGbps returns the deliverable throughput with coreBudget cores,
+// capped at the wire rate.
+func (s Scalability) MaxGbps(coreBudget, wireGbps float64) float64 {
+	if s.CoresPerGbps <= 0 {
+		return wireGbps
+	}
+	cpuBound := coreBudget / s.CoresPerGbps
+	if cpuBound > wireGbps {
+		return wireGbps
+	}
+	return cpuBound
+}
+
+// Curve returns (gbps, cores) pairs from 0 to maxGbps in steps.
+func (s Scalability) Curve(maxGbps float64, steps int) [][2]float64 {
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([][2]float64, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		g := maxGbps * float64(i) / float64(steps)
+		out = append(out, [2]float64{g, s.CoresAt(g)})
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestControllersMatchTableIV(t *testing.T) {
+	b := NewBudget(Virtex7VC707())
+	for _, u := range ControllersUsage() {
+		b.MustClaim(u)
+	}
+	luts, regs, brams, power := b.Totals()
+	// Table IV: 116344 LUTs, 91005 registers, 442 BRAMs, 5.57 W.
+	if luts != 116344 {
+		t.Fatalf("LUTs = %d, want 116344", luts)
+	}
+	if regs != 91005 {
+		t.Fatalf("registers = %d, want 91005", regs)
+	}
+	if brams != 442 {
+		t.Fatalf("BRAMs = %d, want 442", brams)
+	}
+	if math.Abs(power-5.57) > 1e-9 {
+		t.Fatalf("power = %.2f W, want 5.57", power)
+	}
+	lutPct, regPct, bramPct := b.UtilizationPct()
+	if int(lutPct+0.5) != 38 || int(regPct+0.5) != 15 || int(bramPct+0.5) != 43 {
+		t.Fatalf("utilization = %.0f%%/%.0f%%/%.0f%%, want 38/15/43", lutPct, regPct, bramPct)
+	}
+}
+
+func TestClaimRejectsOverflow(t *testing.T) {
+	b := NewBudget(Device{Name: "tiny", LUTs: 100, Registers: 100, BRAMs: 2})
+	if err := b.Claim(Usage{Component: "a", LUTs: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Claim(Usage{Component: "b", LUTs: 50}); err == nil {
+		t.Fatal("LUT overflow accepted")
+	}
+	if err := b.Claim(Usage{Component: "c", BRAMs: 3}); err == nil {
+		t.Fatal("BRAM overflow accepted")
+	}
+	if err := b.Claim(Usage{Component: "d", LUTs: -1}); err == nil {
+		t.Fatal("negative usage accepted")
+	}
+}
+
+func TestClaimMergesDuplicateComponents(t *testing.T) {
+	b := NewBudget(Device{Name: "d", LUTs: 1000, Registers: 1000, BRAMs: 100})
+	b.MustClaim(Usage{Component: "x", LUTs: 100, PowerW: 1})
+	b.MustClaim(Usage{Component: "x", LUTs: 50, PowerW: 0.5})
+	comps := b.Components()
+	if len(comps) != 1 || comps[0].LUTs != 150 || comps[0].PowerW != 1.5 {
+		t.Fatalf("components = %+v", comps)
+	}
+}
+
+func TestEffectiveClockCapped(t *testing.T) {
+	if got := (Usage{MaxClockMHz: 400}).EffectiveClockMHz(); got != DesignClockCapMHz {
+		t.Fatalf("capped clock = %v", got)
+	}
+	if got := (Usage{MaxClockMHz: 130}).EffectiveClockMHz(); got != 130 {
+		t.Fatalf("clock = %v", got)
+	}
+	if got := (Usage{}).EffectiveClockMHz(); got != DesignClockCapMHz {
+		t.Fatalf("uncharacterized clock = %v", got)
+	}
+}
+
+func TestMustClaimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := NewBudget(Device{Name: "d", LUTs: 1})
+	b.MustClaim(Usage{Component: "big", LUTs: 2})
+}

@@ -1,0 +1,137 @@
+// Package gpu models the accelerator the paper's baselines use for
+// intermediate processing (an NVIDIA Tesla K20m): device memory
+// exposed as a P2P target (GPUDirect-style), a DMA copy engine, and
+// kernel execution with launch latency and compute throughput. Kernels
+// compute real results (MD5/CRC32 over the actual bytes), so baseline
+// pipelines are functionally verifiable too.
+package gpu
+
+import (
+	"crypto/md5"
+	"fmt"
+	"hash/crc32"
+
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+	"dcsctrl/internal/sim"
+)
+
+// Params are the GPU performance characteristics.
+type Params struct {
+	VRAMBytes    uint64
+	LaunchLat    sim.Time // kernel launch to first instruction
+	CompleteLat  sim.Time // completion signalling back to host
+	HashBps      float64  // checksum kernel throughput over data
+	CopyEngines  int      // concurrent DMA engines
+	CopySetupLat sim.Time // per-copy programming latency on device
+}
+
+// DefaultParams return K20m-calibrated values. Hash throughput is
+// deliberately modest: per-request checksum kernels at 4-64 KB sizes
+// run far below peak GPU bandwidth (launch-bound, little parallelism).
+func DefaultParams() Params {
+	return Params{
+		VRAMBytes:    64 << 20,
+		LaunchLat:    25 * sim.Microsecond,
+		CompleteLat:  15 * sim.Microsecond,
+		HashBps:      40e9,
+		CopyEngines:  2,
+		CopySetupLat: 10 * sim.Microsecond,
+	}
+}
+
+// KernelKind selects the checksum computed by a kernel.
+type KernelKind int
+
+// Supported kernels.
+const (
+	KernelMD5 KernelKind = iota
+	KernelCRC32
+)
+
+func (k KernelKind) String() string {
+	switch k {
+	case KernelMD5:
+		return "md5"
+	case KernelCRC32:
+		return "crc32"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// GPU is the device model.
+type GPU struct {
+	Name string
+
+	env    *sim.Env
+	fab    *pcie.Fabric
+	params Params
+	port   *pcie.Port
+
+	// VRAM is exposed on the bus (GPUDirect): peers may DMA into it.
+	VRAM *mem.Region
+
+	copyEng *sim.Resource
+	smUnits *sim.Resource // kernel serialization (one kernel at a time)
+
+	kernels int64
+	copied  int64
+}
+
+// NewGPU builds the device on a new fabric port.
+func NewGPU(env *sim.Env, fab *pcie.Fabric, name string, params Params) *GPU {
+	g := &GPU{Name: name, env: env, fab: fab, params: params}
+	g.port = fab.AddPort(name)
+	g.VRAM = fab.Mem().AddRegion(name+"-vram", mem.GPUVRAM, params.VRAMBytes, true)
+	fab.Attach(g.port, g.VRAM)
+	g.copyEng = sim.NewResource(env, name+"-copy", params.CopyEngines)
+	g.smUnits = sim.NewResource(env, name+"-sm", 1)
+	return g
+}
+
+// Port returns the GPU's fabric port.
+func (g *GPU) Port() *pcie.Port { return g.port }
+
+// Stats returns kernels launched and bytes copied by the copy engine.
+func (g *GPU) Stats() (kernels, copiedBytes int64) { return g.kernels, g.copied }
+
+// Copy moves n bytes between VRAM and any bus address using a copy
+// engine (either direction; a cudaMemcpy issued by the host or a
+// GPUDirect peer transfer). The process blocks for the transfer.
+func (g *GPU) Copy(p *sim.Proc, dst, src mem.Addr, n int) error {
+	g.copyEng.Acquire(p)
+	defer g.copyEng.Release()
+	p.Sleep(g.params.CopySetupLat)
+	return g.fab.DMA(p, g.port, dst, src, n)
+}
+
+// RunHashKernel launches a checksum kernel over VRAM[data:data+n] and
+// returns the digest bytes (16 for MD5, 4 for CRC32 big-endian). The
+// digest is also written back to VRAM at resultAddr.
+func (g *GPU) RunHashKernel(p *sim.Proc, kind KernelKind, data mem.Addr, n int, resultAddr mem.Addr) ([]byte, error) {
+	if !g.VRAM.Contains(data) || !g.VRAM.Contains(resultAddr) {
+		return nil, fmt.Errorf("gpu: kernel operands must reside in VRAM")
+	}
+	g.smUnits.Acquire(p)
+	defer g.smUnits.Release()
+	p.Sleep(g.params.LaunchLat)
+	p.Sleep(sim.BpsToTime(n, g.params.HashBps))
+	buf := g.fab.Mem().Read(data, n)
+	var digest []byte
+	switch kind {
+	case KernelMD5:
+		d := md5.Sum(buf)
+		digest = d[:]
+	case KernelCRC32:
+		c := crc32.ChecksumIEEE(buf)
+		digest = []byte{byte(c >> 24), byte(c >> 16), byte(c >> 8), byte(c)}
+	default:
+		return nil, fmt.Errorf("gpu: unknown kernel %v", kind)
+	}
+	g.fab.Mem().Write(resultAddr, digest)
+	p.Sleep(g.params.CompleteLat)
+	g.kernels++
+	g.copied += int64(n)
+	return digest, nil
+}

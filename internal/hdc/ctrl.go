@@ -1,0 +1,443 @@
+package hdc
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/nic"
+	"dcsctrl/internal/nvme"
+	"dcsctrl/internal/sim"
+)
+
+// nvmeReq asks the NVMe controller to move blocks between flash and
+// an engine buffer.
+type nvmeReq struct {
+	write  bool
+	lba    uint64
+	blocks int
+	buf    mem.Addr // engine DDR3 address
+	done   *sim.Signal
+}
+
+// NVMeCtrl is the standard NVMe device controller of Figure 7a: a
+// queue pair in engine BRAM, hardware logic that builds NVMe commands
+// and handles completions, and doorbell writes to the SSD — all
+// without host involvement.
+type NVMeCtrl struct {
+	eng  *Engine
+	ring *nvme.Ring
+	reqQ *sim.Queue[nvmeReq]
+	room *sim.Cond
+
+	// prpPages rotate per submission; the ring's outstanding cap
+	// (entries-1) guarantees a page is reused only after its previous
+	// command completed.
+	prpPages []mem.Addr
+	prpNext  int
+
+	cmds int64
+}
+
+func newNVMeCtrl(eng *Engine, ssd *nvme.SSD, qid uint16, entries, idx int) *NVMeCtrl {
+	mm := eng.fab.Mem()
+	sq := mm.AddRegion(fmt.Sprintf("%s-nvme%d-sq", eng.name, idx), mem.DeviceBRAM, uint64(entries*nvme.CommandSize), true)
+	cq := mm.AddRegion(fmt.Sprintf("%s-nvme%d-cq", eng.name, idx), mem.DeviceBRAM, uint64(entries*nvme.CompletionSize), true)
+	eng.fab.Attach(eng.port, sq)
+	eng.fab.Attach(eng.port, cq)
+	sqdb, cqdb := ssd.DoorbellAddrs(qid)
+	cfg := nvme.RingConfig{QID: qid, Entries: entries, SQ: sq, CQ: cq, SQDoorbell: sqdb, CQDoorbell: cqdb}
+	c := &NVMeCtrl{
+		eng:  eng,
+		ring: nvme.NewRing(eng.fab, cfg),
+		reqQ: sim.NewQueue[nvmeReq](eng.env, eng.name+"-nvme-reqs"),
+		room: sim.NewCond(eng.env),
+	}
+	for i := 0; i < entries; i++ {
+		c.prpPages = append(c.prpPages, eng.ddr3.Alloc(256, 64))
+	}
+	// Completion detection: the SSD DMA-writes CQEs into engine BRAM;
+	// the controller's phase-bit snoop is modelled as a write hook.
+	cq.SetWriteHook(func(off uint64, n int) {
+		if c.ring.ProcessCompletions() > 0 {
+			c.room.Broadcast()
+		}
+	})
+	// No MSI: the engine polls its own BRAM (msiVector < 0).
+	ssd.CreateQueuePair(cfg, -1)
+	eng.env.Spawn(fmt.Sprintf("%s-nvme%d-ctrl", eng.name, idx), c.loop)
+	return c
+}
+
+// Submit enqueues a request; done fires when the SSD completes it.
+func (c *NVMeCtrl) Submit(r nvmeReq) { c.reqQ.Put(r) }
+
+func (c *NVMeCtrl) loop(p *sim.Proc) {
+	for {
+		r := c.reqQ.Get(p)
+		if r.blocks < 1 || r.blocks > nvme.MaxBlocksPerCmd {
+			panic(fmt.Sprintf("hdc: nvme request of %d blocks", r.blocks))
+		}
+		for c.ring.Full() {
+			c.room.Wait(p)
+		}
+		// Hardware command build: PRPs point straight at DDR3 pages.
+		p.Sleep(c.eng.params.NVMeBuild)
+		pages := make([]mem.Addr, r.blocks)
+		for i := range pages {
+			pages[i] = r.buf + mem.Addr(i*nvme.BlockSize)
+		}
+		prpPage := c.prpPages[c.prpNext]
+		c.prpNext = (c.prpNext + 1) % len(c.prpPages)
+		prp1, prp2, err := nvme.BuildPRPs(c.eng.fab.Mem(), pages, prpPage)
+		if err != nil {
+			panic(err)
+		}
+		op := nvme.OpRead
+		if r.write {
+			op = nvme.OpWrite
+		}
+		done := r.done
+		_, err = c.ring.Submit(nvme.Command{
+			Opcode: op, NSID: 1, PRP1: prp1, PRP2: prp2,
+			SLBA: r.lba, NLB: uint16(r.blocks - 1),
+		}, func(cpl nvme.Completion) {
+			if cpl.Status != nvme.StatusSuccess {
+				panic(fmt.Sprintf("hdc: nvme status %#x", cpl.Status))
+			}
+			done.Fire(nil)
+		})
+		if err != nil {
+			panic(err)
+		}
+		c.ring.RingDoorbell()
+		c.cmds++
+	}
+}
+
+// sendReq asks the NIC controller to transmit len bytes from an
+// engine buffer on a registered connection.
+type sendReq struct {
+	connID uint64
+	buf    mem.Addr
+	length int
+	done   *sim.Signal
+}
+
+// recvReq asks the NIC controller for the next want bytes of a
+// connection's in-order stream, gathered into buf.
+type recvReq struct {
+	connID uint64
+	want   int
+	buf    mem.Addr
+	done   *sim.Signal
+}
+
+// conn is a registered connection's hardware state.
+type conn struct {
+	id     uint64
+	flow   ether.Flow // transmit direction
+	txSeq  uint32
+	rxSeq  uint32 // next expected receive sequence
+	rxBufs []rxExtent
+	rxALen int      // bytes available in rxBufs
+	waiter *recvReq // at most one outstanding receive per connection
+}
+
+type rxExtent struct {
+	addr mem.Addr // payload location in a receive buffer
+	n    int
+	buf  mem.Addr // owning 2 KB receive buffer (for recycling)
+}
+
+// NICCtrl is the standard NIC controller of Figure 7b: send/recv
+// rings and a header buffer in BRAM, TCP/IP header generation, packet
+// parsing and payload gathering in hardware.
+type NICCtrl struct {
+	eng *Engine
+	dev *nic.NIC
+	qid uint16
+
+	send   *nic.SendRing
+	recv   *nic.RecvRing
+	hdrBuf *mem.Region
+
+	sendQ     *sim.Queue[sendReq]
+	recvQ     *sim.Queue[recvReq]
+	sendSpace *sim.Cond
+	cplKick   *sim.Cond
+	pendTx    []pendingSend
+
+	conns map[uint64]*conn
+
+	sendJobs, recvPkts int64
+	gatheredBytes      int64
+}
+
+type pendingSend struct {
+	tail uint64
+	done *sim.Signal
+}
+
+func newNICCtrl(eng *Engine, dev *nic.NIC, qid uint16, entries int) *NICCtrl {
+	mm := eng.fab.Mem()
+	pfx := fmt.Sprintf("%s-nic-q%d", eng.name, qid)
+	sring := mm.AddRegion(pfx+"-sring", mem.DeviceBRAM, uint64(entries*nic.SendBDSize), true)
+	rring := mm.AddRegion(pfx+"-rring", mem.DeviceBRAM, uint64(entries*nic.RecvBDSize), true)
+	rcpl := mm.AddRegion(pfx+"-rcpl", mem.DeviceBRAM, uint64(entries*nic.RecvCplSize), true)
+	status := mm.AddRegion(pfx+"-status", mem.DeviceBRAM, 64, true)
+	hdrBuf := mm.AddRegion(pfx+"-hdrs", mem.DeviceBRAM, 64<<10, true)
+	for _, r := range []*mem.Region{sring, rring, rcpl, status, hdrBuf} {
+		eng.fab.Attach(eng.port, r)
+	}
+	cfg := nic.QueueConfig{
+		QID: qid, SendRing: sring, SendEntries: entries,
+		SendStatus: status.Base,
+		RecvRing:   rring, RecvEntries: entries,
+		RecvCpl: rcpl, RecvStatus: status.Base + 8,
+		MSIVector:   -1,   // the engine snoops its BRAM, no interrupts
+		HeaderSplit: true, // hardware header/data split (§IV-C)
+	}
+	dev.ConfigureQueue(cfg)
+	c := &NICCtrl{
+		eng: eng, dev: dev, qid: qid,
+		send:      nic.NewSendRing(eng.fab, dev, cfg),
+		recv:      nic.NewRecvRing(eng.fab, dev, cfg),
+		hdrBuf:    hdrBuf,
+		sendQ:     sim.NewQueue[sendReq](eng.env, pfx+"-send"),
+		recvQ:     sim.NewQueue[recvReq](eng.env, pfx+"-recv"),
+		sendSpace: sim.NewCond(eng.env),
+		cplKick:   sim.NewCond(eng.env),
+		conns:     map[uint64]*conn{},
+	}
+	// Status words double as the completion snoop points.
+	status.SetWriteHook(func(off uint64, n int) { c.onStatus() })
+	eng.env.Spawn(pfx+"-sendctrl", c.sendLoop)
+	eng.env.Spawn(pfx+"-recvctrl", c.recvLoop)
+	// Keep the NIC stocked with receive buffers from DDR3.
+	c.restockRecvBuffers()
+	return c
+}
+
+// RegisterConnection installs a connection's flow state and steers its
+// inbound packets to the engine's dedicated queue.
+func (c *NICCtrl) RegisterConnection(id uint64, flow ether.Flow, txSeq, rxSeq uint32) {
+	if _, dup := c.conns[id]; dup {
+		panic(fmt.Sprintf("hdc: connection %d already registered", id))
+	}
+	c.conns[id] = &conn{id: id, flow: flow, txSeq: txSeq, rxSeq: rxSeq}
+	c.dev.SetSteering(flow.Reverse().Tuple(), c.qid)
+}
+
+// Conn returns a registered connection's state (diagnostics).
+func (c *NICCtrl) Conn(id uint64) (ether.Flow, uint32, uint32, bool) {
+	cn, ok := c.conns[id]
+	if !ok {
+		return ether.Flow{}, 0, 0, false
+	}
+	return cn.flow, cn.txSeq, cn.rxSeq, true
+}
+
+func (c *NICCtrl) onStatus() {
+	// Send completions: fire every pending send at or below the
+	// cumulative counter.
+	completed := c.send.Completed()
+	n := 0
+	for _, ps := range c.pendTx {
+		if ps.tail > completed {
+			break
+		}
+		ps.done.Fire(nil)
+		n++
+	}
+	c.pendTx = c.pendTx[n:]
+	c.sendSpace.Broadcast()
+	// Receive completions: wake the receive controller.
+	c.cplKick.Broadcast()
+}
+
+// sendLoop implements hardware transmit: header generation into the
+// BRAM header buffer, BD chain construction, doorbell.
+func (c *NICCtrl) sendLoop(p *sim.Proc) {
+	hdrSlots := int(c.hdrBuf.Size / 64)
+	hdrNext := 0
+	for {
+		r := c.sendQ.Get(p)
+		cn, ok := c.conns[r.connID]
+		if !ok {
+			panic(fmt.Sprintf("hdc: send on unknown connection %d", r.connID))
+		}
+		// Generate the TCP/IP header template in hardware.
+		p.Sleep(c.eng.params.NICHeaderGen)
+		hdr := ether.HeaderTemplate(cn.flow, cn.txSeq, ether.FlagACK|ether.FlagPSH)
+		slotAddr := c.hdrBuf.Base + mem.Addr(hdrNext*64)
+		hdrNext = (hdrNext + 1) % hdrSlots
+		c.eng.fab.Mem().Write(slotAddr, hdr)
+		cn.txSeq += uint32(r.length)
+
+		// Build the BD chain: header from BRAM, payload from DDR3 in
+		// ≤32 KB fragments (16-bit BD lengths).
+		bds := []nic.SendBD{{Addr: slotAddr, Len: uint16(len(hdr)), Flags: nic.SendFlagLSO, MSS: ether.MSS}}
+		const frag = 32 << 10
+		for off := 0; off < r.length; off += frag {
+			n := r.length - off
+			if n > frag {
+				n = frag
+			}
+			bds = append(bds, nic.SendBD{Addr: r.buf + mem.Addr(off), Len: uint16(n)})
+		}
+		bds[len(bds)-1].Flags |= nic.SendFlagEnd
+		for c.send.FreeSlots() < len(bds) {
+			c.sendSpace.Wait(p)
+		}
+		if err := c.send.Push(bds); err != nil {
+			panic(err)
+		}
+		c.pendTx = append(c.pendTx, pendingSend{tail: c.send.Tail(), done: r.done})
+		c.send.RingDoorbell()
+		c.sendJobs++
+	}
+}
+
+// SubmitSend queues a transmit request.
+func (c *NICCtrl) SubmitSend(r sendReq) { c.sendQ.Put(r) }
+
+// SubmitRecv queues a receive request and wakes the controller.
+func (c *NICCtrl) SubmitRecv(r recvReq) {
+	c.recvQ.Put(r)
+	c.cplKick.Broadcast()
+}
+
+// restockRecvBuffers posts 2 KB DDR3 buffers until the ring is full.
+func (c *NICCtrl) restockRecvBuffers() {
+	var bds []nic.RecvBD
+	for c.recv.Unconsumed()+len(bds) < c.eng.params.NICEntries-1 {
+		buf, ok := c.eng.recvPool.Get()
+		if !ok {
+			break
+		}
+		bds = append(bds, nic.RecvBD{Addr: buf, Len: uint32(c.eng.recvPool.ChunkSize())})
+	}
+	if len(bds) > 0 {
+		if err := c.recv.Post(bds); err != nil {
+			panic(err)
+		}
+		c.recv.RingDoorbell()
+	}
+}
+
+// recvLoop implements hardware receive: packet header parsing, flow
+// identification, payload bookkeeping, and gather into contiguous
+// chunks — the NIC-specific intermediate processing of §IV-C.
+func (c *NICCtrl) recvLoop(p *sim.Proc) {
+	mm := c.eng.fab.Mem()
+	for {
+		// Adopt newly submitted receive requests; buffered bytes may
+		// already satisfy them.
+		for c.recvQ.Len() > 0 {
+			r, _ := c.recvQ.TryGet()
+			cn := c.conns[r.connID]
+			if cn == nil {
+				panic(fmt.Sprintf("hdc: recv on unknown connection %d", r.connID))
+			}
+			if cn.waiter != nil {
+				panic(fmt.Sprintf("hdc: two receive requests on connection %d", r.connID))
+			}
+			rr := r
+			cn.waiter = &rr
+			c.tryGather(p, cn)
+		}
+		fills := c.recv.Poll()
+		if len(fills) == 0 {
+			c.cplKick.Wait(p)
+			continue
+		}
+		for _, f := range fills {
+			p.Sleep(c.eng.params.RecvParse)
+			hdr := mm.Read(f.Addr, int(f.Cpl.HdrLen))
+			seg, err := ether.ParseHeaders(hdr)
+			if err != nil {
+				panic(fmt.Sprintf("hdc: unparsable received header: %v", err))
+			}
+			cn := c.lookupByTuple(seg.Flow.Tuple())
+			if cn == nil {
+				// Not ours: recycle the buffer and move on.
+				c.eng.recvPool.Put(f.Addr)
+				continue
+			}
+			if seg.Seq != cn.rxSeq {
+				panic(fmt.Sprintf("hdc: out-of-order segment on conn %d: seq %d want %d", cn.id, seg.Seq, cn.rxSeq))
+			}
+			cn.rxSeq += uint32(f.Cpl.PayLen)
+			if f.Cpl.PayLen > 0 {
+				cn.rxBufs = append(cn.rxBufs, rxExtent{addr: f.Addr + nic.HdrOff, n: int(f.Cpl.PayLen), buf: f.Addr})
+				cn.rxALen += int(f.Cpl.PayLen)
+			} else {
+				c.eng.recvPool.Put(f.Addr)
+			}
+			c.recvPkts++
+			c.tryGather(p, cn)
+		}
+		c.restockRecvBuffers()
+	}
+}
+
+func (c *NICCtrl) lookupByTuple(t ether.Tuple) *conn {
+	for _, cn := range c.conns {
+		if cn.flow.Reverse().Tuple() == t {
+			return cn
+		}
+	}
+	return nil
+}
+
+// DebugState prints receive-side state (diagnostics).
+func (c *NICCtrl) DebugState() string {
+	out := fmt.Sprintf("recvPkts=%d gathered=%d sendJobs=%d pool(free=%d low=%d) recvQ=%d pendTx=%d",
+		c.recvPkts, c.gatheredBytes, c.sendJobs, c.eng.recvPool.Free(), c.eng.recvPool.LowWater(), c.recvQ.Len(), len(c.pendTx))
+	for id, cn := range c.conns {
+		w := -1
+		if cn.waiter != nil {
+			w = cn.waiter.want
+		}
+		out += fmt.Sprintf("\n  conn %d: rxSeq=%d avail=%d waiterWant=%d txSeq=%d", id, cn.rxSeq, cn.rxALen, w, cn.txSeq)
+	}
+	return out
+}
+
+// tryGather satisfies the connection's pending receive request when
+// enough in-order bytes have accumulated: the packet-gather hardware
+// copies scattered payloads into the contiguous destination chunk.
+func (c *NICCtrl) tryGather(p *sim.Proc, cn *conn) {
+	r := cn.waiter
+	if r == nil || cn.rxALen < r.want {
+		return
+	}
+	mm := c.eng.fab.Mem()
+	remaining := r.want
+	off := 0
+	for remaining > 0 {
+		ext := cn.rxBufs[0]
+		take := ext.n
+		if take > remaining {
+			take = remaining
+		}
+		mm.Copy(r.buf+mem.Addr(off), ext.addr, take)
+		off += take
+		remaining -= take
+		if take == ext.n {
+			cn.rxBufs = cn.rxBufs[1:]
+			c.eng.recvPool.Put(ext.buf)
+		} else {
+			cn.rxBufs[0].addr += mem.Addr(take)
+			cn.rxBufs[0].n -= take
+		}
+	}
+	cn.rxALen -= r.want
+	// Gather engine time: DDR3-internal copy bandwidth.
+	p.Sleep(sim.BpsToTime(r.want, c.eng.params.GatherBps))
+	c.gatheredBytes += int64(r.want)
+	cn.waiter = nil
+	c.restockRecvBuffers()
+	r.done.Fire(r.want)
+}

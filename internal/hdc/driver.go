@@ -1,0 +1,337 @@
+package hdc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/hostos"
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+	"dcsctrl/internal/sim"
+	"dcsctrl/internal/trace"
+)
+
+// DriverParams are the host CPU costs of the HDC Driver — the thin
+// kernel module of §IV-B. They are small by design: the driver only
+// resolves metadata and posts one command where the software stacks
+// run entire I/O paths.
+type DriverParams struct {
+	MetadataLookup sim.Time // VFS interaction: extent map retrieval
+	DirtyCheck     sim.Time // page-cache consistency check per request
+	ConnLookup     sim.Time // TCP connection metadata retrieval
+	CmdBuild       sim.Time // D2D command construction
+	CmdPost        sim.Time // MMIO write of command + doorbell
+	IRQHandle      sim.Time // completion interrupt handling per batch
+}
+
+// DefaultDriverParams return the calibrated driver costs.
+func DefaultDriverParams() DriverParams {
+	return DriverParams{
+		MetadataLookup: 800 * sim.Nanosecond,
+		DirtyCheck:     200 * sim.Nanosecond,
+		ConnLookup:     500 * sim.Nanosecond,
+		CmdBuild:       300 * sim.Nanosecond,
+		CmdPost:        400 * sim.Nanosecond,
+		IRQHandle:      700 * sim.Nanosecond,
+	}
+}
+
+// Result is a completed D2D command's outcome as seen by the library.
+type Result struct {
+	Status uint32
+	Aux    []byte // NDP digest, when requested
+}
+
+// Driver is the HDC Driver plus the HDC Library entry points. It owns
+// the host side of the engine's command/completion interface and
+// charges all of its work to trace.CatHDCDriver.
+type Driver struct {
+	env    *sim.Env
+	host   *hostos.Host
+	fs     *hostos.FileSystem
+	fab    *pcie.Fabric
+	eng    *Engine
+	params DriverParams
+
+	cplRing *mem.Region
+	arena   *mem.Region // extent tables visible to the engine
+
+	nextID      uint32
+	tail        uint64
+	outstanding int
+	slotFree    *sim.Cond
+	waiting     map[uint32]*sim.Signal
+	cplHead     uint64
+
+	// Writeback flushes a dirty page before a D2D read; wired by the
+	// server configuration (it needs the host's own storage path).
+	Writeback func(p *sim.Proc, f *hostos.File, page int, data []byte)
+}
+
+// NewDriver builds the driver, allocating its host-memory interface
+// regions and registering the completion interrupt.
+func NewDriver(env *sim.Env, host *hostos.Host, fs *hostos.FileSystem,
+	fab *pcie.Fabric, hostPort *pcie.Port, eng *Engine, msiVector int, params DriverParams) *Driver {
+	mm := fab.Mem()
+	d := &Driver{
+		env: env, host: host, fs: fs, fab: fab, eng: eng, params: params,
+		slotFree: sim.NewCond(env),
+		waiting:  map[uint32]*sim.Signal{},
+	}
+	entries := eng.params.CmdQueueEntries
+	d.cplRing = mm.AddRegion("hdc-cpl-ring", mem.HostDRAM, uint64(entries*CplEntrySize)+64, true)
+	d.arena = mm.AddRegion("hdc-extent-arena", mem.HostDRAM, uint64(entries)*4096, true)
+	fab.Attach(hostPort, d.cplRing)
+	fab.Attach(hostPort, d.arena)
+
+	eng.ConfigureHost(HostConfig{
+		CplRing:    d.cplRing,
+		CplStatus:  d.cplRing.Base + mem.Addr(uint64(entries*CplEntrySize)),
+		HeadMirror: d.cplRing.Base + mem.Addr(uint64(entries*CplEntrySize)) + 8,
+		MSIVector:  msiVector,
+	})
+	fab.OnMSI(msiVector, func() {
+		host.RaiseIRQ(trace.CatHDCDriver, params.IRQHandle, d.drainCompletions)
+	})
+	return d
+}
+
+// drainCompletions consumes new completion-ring entries and wakes the
+// blocked library calls (runs from the IRQ path).
+func (d *Driver) drainCompletions() {
+	entries := uint64(d.eng.params.CmdQueueEntries)
+	for {
+		slot := d.cplHead % entries
+		entryAddr := d.cplRing.Base + mem.Addr(slot*uint64(CplEntrySize))
+		raw := d.fab.Mem().Read(entryAddr, CplEntrySize)
+		if raw[12] == 0 {
+			return // no more valid entries
+		}
+		// Clear the valid byte (host-local memory write).
+		d.fab.Mem().Write(entryAddr+12, []byte{0})
+		id := binary.LittleEndian.Uint32(raw[0:])
+		status := binary.LittleEndian.Uint32(raw[4:])
+		auxLen := int(binary.LittleEndian.Uint32(raw[8:]))
+		if auxLen > 16 {
+			auxLen = 16
+		}
+		aux := append([]byte(nil), raw[16:16+auxLen]...)
+		d.cplHead++
+		sig, ok := d.waiting[id]
+		if !ok {
+			panic(fmt.Sprintf("hdc: completion for unknown command %d", id))
+		}
+		delete(d.waiting, id)
+		d.outstanding--
+		d.slotFree.Broadcast()
+		sig.Fire(Result{Status: status, Aux: aux})
+	}
+}
+
+// Connect registers a TCP connection with the engine's NIC controller
+// (driver-side: the connection was established by the kernel stack;
+// the driver hands its state to hardware, as §IV-B describes).
+func (d *Driver) Connect(id uint64, flow ether.Flow, txSeq, rxSeq uint32) {
+	d.eng.RegisterConnection(id, flow, txSeq, rxSeq)
+}
+
+// post writes a built command into the engine's queue and rings the
+// tail doorbell. Caller charges CPU cost.
+func (d *Driver) post(p *sim.Proc, cmd Command) *sim.Signal {
+	for d.outstanding >= d.eng.params.CmdQueueEntries-1 {
+		d.slotFree.Wait(p)
+	}
+	sig := sim.NewSignal(d.env)
+	d.waiting[cmd.ID] = sig
+	d.outstanding++
+	slot := d.tail % uint64(d.eng.params.CmdQueueEntries)
+	enc := cmd.Encode()
+	// MMIO writes into the engine BAR: command body, then doorbell.
+	d.tail++
+	tail := d.tail
+	mmio := d.fab.Params().MMIOLatency
+	slotAddr := d.eng.CmdSlotAddr(int(slot))
+	d.env.Schedule(mmio, func() { d.fab.Mem().Write(slotAddr, enc[:]) })
+	d.env.Schedule(mmio, func() {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], tail)
+		d.fab.Mem().Write(d.eng.TailDoorbell(), b[:])
+	})
+	return sig
+}
+
+// stageExtents writes an extent table into the arena slot for a
+// command and returns its bus address.
+func (d *Driver) stageExtents(id uint32, ext []ExtentEntry) (mem.Addr, error) {
+	if len(ext) > 256 {
+		return 0, fmt.Errorf("hdc: %d extents exceed one command (split the transfer)", len(ext))
+	}
+	slot := uint64(id) % uint64(d.eng.params.CmdQueueEntries)
+	addr := d.arena.Base + mem.Addr(slot*4096)
+	d.fab.Mem().Write(addr, EncodeExtents(ext))
+	return addr, nil
+}
+
+// fileExtents maps a byte range of a file to engine extent entries,
+// enforcing chunk-aligned starts.
+func fileExtents(f *hostos.File, off, n int) ([]ExtentEntry, error) {
+	if off%hostos.BlockSize != 0 {
+		return nil, fmt.Errorf("hdc: offset %d not block aligned", off)
+	}
+	lbas, err := f.LBARange(off, n)
+	if err != nil {
+		return nil, err
+	}
+	var out []ExtentEntry
+	for _, lba := range lbas {
+		if k := len(out); k > 0 && out[k-1].LBA+uint64(out[k-1].Blocks) == lba {
+			out[k-1].Blocks++
+			continue
+		}
+		out = append(out, ExtentEntry{LBA: lba, Blocks: 1})
+	}
+	return out, nil
+}
+
+// prepare runs the driver's common preamble: syscall entry, metadata
+// and consistency work, command build. It returns the allocated ID.
+func (d *Driver) prepare(p *sim.Proc, bd *trace.Breakdown, f *hostos.File) uint32 {
+	hp := d.host.Params
+	d.host.Exec(p, trace.CatHDCDriver, hp.SyscallEntry, bd)
+	d.host.Exec(p, trace.CatHDCDriver, d.params.MetadataLookup, bd)
+	if f != nil {
+		d.host.Exec(p, trace.CatHDCDriver, d.params.DirtyCheck, bd)
+		if dirty := d.fs.Dirty(f.Name); len(dirty) > 0 {
+			if d.Writeback == nil {
+				panic("hdc: dirty pages with no writeback path configured")
+			}
+			for _, pg := range dirty {
+				data, _ := d.fs.CleanPage(f.Name, pg)
+				d.Writeback(p, f, pg, data)
+			}
+		}
+	}
+	id := d.nextID
+	d.nextID++
+	return id
+}
+
+// finishCall blocks for the engine's completion and charges the
+// syscall exit.
+func (d *Driver) finishCall(p *sim.Proc, bd *trace.Breakdown, sig *sim.Signal) Result {
+	d.host.BlockOnDevice(p, sig, bd)
+	res := sig.Value().(Result)
+	d.host.Exec(p, trace.CatHDCDriver, d.host.Params.SyscallExit, bd)
+	return res
+}
+
+// SendFile is the HDC Library's sendfile-like call: transfer n bytes
+// of file f starting at off to connection connID, optionally through
+// NDP function fn (§IV-A). It blocks until the engine completes the
+// D2D command and returns the NDP digest when fn computes one.
+func (d *Driver) SendFile(p *sim.Proc, bd *trace.Breakdown, f *hostos.File, off, n int, connID uint64, fn uint8) (Result, error) {
+	return d.SendFileDev(p, bd, 0, f, off, n, connID, fn)
+}
+
+// SendFileDev is SendFile addressing a specific SSD (multi-SSD
+// engines; dev is the index AttachSSD returned).
+func (d *Driver) SendFileDev(p *sim.Proc, bd *trace.Breakdown, dev uint8, f *hostos.File, off, n int, connID uint64, fn uint8) (Result, error) {
+	return d.SendFileAux(p, bd, dev, f, off, n, connID, fn, 0)
+}
+
+// SendFileAux is SendFileDev with an NDP function argument (e.g. the
+// AES key slot provisioned with Engine.ProvisionAESKey).
+func (d *Driver) SendFileAux(p *sim.Proc, bd *trace.Breakdown, dev uint8, f *hostos.File, off, n int, connID uint64, fn uint8, aux uint64) (Result, error) {
+	id := d.prepare(p, bd, f)
+	ext, err := fileExtents(f, off, n)
+	if err != nil {
+		return Result{}, err
+	}
+	extAddr, err := d.stageExtents(id, ext)
+	if err != nil {
+		return Result{}, err
+	}
+	d.host.Exec(p, trace.CatHDCDriver, d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost, bd)
+	sig := d.post(p, Command{
+		ID: id, SrcClass: ClassSSD, DstClass: ClassNIC, Fn: fn,
+		Flags:  FlagAuxWriteback,
+		SrcArg: uint64(extAddr), SrcCount: uint32(len(ext)), SrcDev: dev,
+		DstArg: connID, Length: uint64(n), AuxData: aux,
+	})
+	return d.finishCall(p, bd, sig), nil
+}
+
+// CopyFile moves n bytes between two files (possibly on different
+// SSDs) entirely through the engine — SSD→[NDP]→SSD, no host data
+// path. Both extent tables share the command's arena slot, so each
+// side is limited to 128 extents.
+func (d *Driver) CopyFile(p *sim.Proc, bd *trace.Breakdown,
+	srcDev uint8, srcF *hostos.File, srcOff int,
+	dstDev uint8, dstF *hostos.File, dstOff, n int, fn uint8) (Result, error) {
+	id := d.prepare(p, bd, srcF)
+	srcExt, err := fileExtents(srcF, srcOff, n)
+	if err != nil {
+		return Result{}, err
+	}
+	dstExt, err := fileExtents(dstF, dstOff, n)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(srcExt) > 128 || len(dstExt) > 128 {
+		return Result{}, fmt.Errorf("hdc: copy with >128 extents per side (split the transfer)")
+	}
+	slot := uint64(id) % uint64(d.eng.params.CmdQueueEntries)
+	base := d.arena.Base + mem.Addr(slot*4096)
+	d.fab.Mem().Write(base, EncodeExtents(srcExt))
+	d.fab.Mem().Write(base+2048, EncodeExtents(dstExt))
+	d.host.Exec(p, trace.CatHDCDriver, d.params.CmdBuild+d.params.CmdPost, bd)
+	sig := d.post(p, Command{
+		ID: id, SrcClass: ClassSSD, DstClass: ClassSSD, Fn: fn,
+		Flags:  FlagAuxWriteback,
+		SrcArg: uint64(base), SrcCount: uint32(len(srcExt)), SrcDev: srcDev,
+		DstArg: uint64(base + 2048), DstCount: uint32(len(dstExt)), DstDev: dstDev,
+		Length: uint64(n),
+	})
+	return d.finishCall(p, bd, sig), nil
+}
+
+// RecvFile receives n bytes from connection connID into file f at
+// off, optionally through NDP function fn — the PUT-side D2D path.
+func (d *Driver) RecvFile(p *sim.Proc, bd *trace.Breakdown, connID uint64, f *hostos.File, off, n int, fn uint8) (Result, error) {
+	return d.RecvFileDev(p, bd, connID, 0, f, off, n, fn)
+}
+
+// RecvFileDev is RecvFile addressing a specific SSD.
+func (d *Driver) RecvFileDev(p *sim.Proc, bd *trace.Breakdown, connID uint64, dev uint8, f *hostos.File, off, n int, fn uint8) (Result, error) {
+	id := d.prepare(p, bd, f)
+	ext, err := fileExtents(f, off, n)
+	if err != nil {
+		return Result{}, err
+	}
+	extAddr, err := d.stageExtents(id, ext)
+	if err != nil {
+		return Result{}, err
+	}
+	d.host.Exec(p, trace.CatHDCDriver, d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost, bd)
+	sig := d.post(p, Command{
+		ID: id, SrcClass: ClassNIC, DstClass: ClassSSD, Fn: fn,
+		Flags:  FlagAuxWriteback,
+		SrcArg: connID, DstArg: uint64(extAddr), DstCount: uint32(len(ext)), DstDev: dev,
+		Length: uint64(n),
+	})
+	return d.finishCall(p, bd, sig), nil
+}
+
+// Forward moves n bytes from one connection to another through the
+// engine (network-to-network, e.g. proxying with re-encryption).
+func (d *Driver) Forward(p *sim.Proc, bd *trace.Breakdown, srcConn, dstConn uint64, n int, fn uint8) (Result, error) {
+	id := d.prepare(p, bd, nil)
+	d.host.Exec(p, trace.CatHDCDriver, 2*d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost, bd)
+	sig := d.post(p, Command{
+		ID: id, SrcClass: ClassNIC, DstClass: ClassNIC, Fn: fn,
+		Flags:  FlagAuxWriteback,
+		SrcArg: srcConn, DstArg: dstConn, Length: uint64(n),
+	})
+	return d.finishCall(p, bd, sig), nil
+}

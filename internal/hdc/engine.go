@@ -1,0 +1,459 @@
+package hdc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/fpga"
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/ndp"
+	"dcsctrl/internal/nic"
+	"dcsctrl/internal/nvme"
+	"dcsctrl/internal/pcie"
+	"dcsctrl/internal/sim"
+	"dcsctrl/internal/trace"
+)
+
+// Params are the HDC Engine's hardware timing and sizing parameters
+// (FPGA logic at 250 MHz; DDR3-1600 on-board memory).
+type Params struct {
+	CmdParse       sim.Time // command parser per D2D command
+	ScoreboardOp   sim.Time // per scoreboard state transition
+	NVMeBuild      sim.Time // NVMe controller command build
+	NICHeaderGen   sim.Time // NIC controller header generation
+	RecvParse      sim.Time // per received packet, hardware parse
+	CompletionPost sim.Time // interrupt generator per completion
+	GatherBps      float64  // DDR3-internal gather bandwidth
+	NDPTargetBps   float64  // provisioning target for NDP banks
+
+	CmdQueueEntries   int // host-interface command queue (64, §IV-C)
+	ScoreboardEntries int
+	NVMeEntries       int // NVMe queue pair depth in BRAM
+	NICEntries        int // NIC ring depth in BRAM
+	Window            int // in-flight chunks per D2D command
+
+	DDR3Bytes  uint64 // modelled slice of the 1 GB on-board DRAM
+	ChunkCount int    // 64 KB intermediate buffers
+	RecvBufs   int    // 2 KB packet receive buffers
+}
+
+// DefaultParams return the prototype's configuration.
+func DefaultParams() Params {
+	return Params{
+		CmdParse:       200 * sim.Nanosecond,
+		ScoreboardOp:   60 * sim.Nanosecond,
+		NVMeBuild:      200 * sim.Nanosecond,
+		NICHeaderGen:   300 * sim.Nanosecond,
+		RecvParse:      100 * sim.Nanosecond,
+		CompletionPost: 200 * sim.Nanosecond,
+		GatherBps:      51.2e9,
+		NDPTargetBps:   ndp.TargetBps,
+
+		CmdQueueEntries:   64,
+		ScoreboardEntries: 128,
+		NVMeEntries:       64,
+		NICEntries:        512,
+		Window:            4,
+
+		DDR3Bytes:  96 << 20,
+		ChunkCount: 512,
+		RecvBufs:   8192,
+	}
+}
+
+// HostConfig is the host-facing completion path: a completion ring in
+// host DRAM plus the MSI vector the interrupt generator uses.
+type HostConfig struct {
+	CplRing    *mem.Region // host DRAM: CplEntrySize × CmdQueueEntries
+	CplStatus  mem.Addr    // 8-byte cumulative completion counter
+	HeadMirror mem.Addr    // 8-byte cumulative consumed-command counter
+	MSIVector  int
+}
+
+// CplEntrySize is the completion-ring entry size: id(4) status(4)
+// auxLen(4) valid(1) pad(3) aux(16). The valid byte carries the
+// producer's phase; the driver clears it after consuming, so no
+// separate status-counter DMA is needed.
+const CplEntrySize = 32
+
+// cmdResult is an executed command's outcome.
+type cmdResult struct {
+	id     uint32
+	status uint32
+	aux    []byte
+}
+
+// Engine is the HDC Engine device: Figure 5's FPGA board.
+type Engine struct {
+	name   string
+	env    *sim.Env
+	fab    *pcie.Fabric
+	params Params
+	port   *pcie.Port
+	budget *fpga.Budget
+
+	// Host interface: 64-entry command queue + tail doorbell in BRAM.
+	cmdq    *mem.Region
+	cmdHead uint64
+	cmdTail uint64 // doorbell value
+	cmdKick *sim.Cond
+
+	// On-board DDR3: intermediate chunks and packet receive buffers.
+	ddr3      *mem.Region
+	chunks    *mem.ChunkPool
+	recvPool  *mem.ChunkPool
+	chunkCond *sim.Cond
+	prpList   mem.Addr // scratch page for PRP lists
+
+	sb        *Scoreboard
+	nvmeCtls  []*NVMeCtrl
+	nicCtls   []*NICCtrl
+	connOwner map[uint64]*NICCtrl
+	nextNICRR int
+	aesKeys   map[uint64]ndp.Streamer // AES key slots (AuxData selects)
+	banks     map[uint8]*ndp.Bank
+	streamer  map[uint8]ndp.Streamer
+
+	host      HostConfig
+	hostSet   bool
+	submitted []uint32             // submission order, for in-order completion
+	finished  map[uint32]cmdResult // results awaiting their turn
+	cplCount  uint64
+	cplCond   *sim.Cond
+	cplBuf    mem.Addr   // completer staging
+	mirrorBuf mem.Addr   // head-mirror staging
+	extBufs   []mem.Addr // per-command-slot extent staging
+
+	cmdsDone int64
+
+	tracing bool
+	traces  map[uint32]*CmdTrace
+}
+
+// CmdTrace stamps one command's milestones (for latency-decomposition
+// reporting, Figure 11's DCS-ctrl bar).
+type CmdTrace struct {
+	Posted  sim.Time // parser admitted the command
+	SrcDone sim.Time // first source chunk completed (≈ media read time)
+	Done    sim.Time // all destination operations completed
+}
+
+// NewEngine creates the engine, claims the base design's FPGA
+// resources, and starts the parser and completer processes. Attach
+// devices with AttachSSD/AttachNIC, NDP units with AddNDP, and the
+// host with ConfigureHost before submitting commands.
+func NewEngine(env *sim.Env, fab *pcie.Fabric, name string, params Params) *Engine {
+	e := &Engine{
+		name:      name,
+		env:       env,
+		fab:       fab,
+		params:    params,
+		budget:    fpga.NewBudget(fpga.Virtex7VC707()),
+		cmdKick:   sim.NewCond(env),
+		banks:     map[uint8]*ndp.Bank{},
+		streamer:  map[uint8]ndp.Streamer{},
+		finished:  map[uint32]cmdResult{},
+		cplCond:   sim.NewCond(env),
+		connOwner: map[uint64]*NICCtrl{},
+		aesKeys:   map[uint64]ndp.Streamer{},
+	}
+	for _, u := range fpga.ControllersUsage() {
+		e.budget.MustClaim(u)
+	}
+	e.port = fab.AddPort(name)
+	mm := fab.Mem()
+	e.cmdq = mm.AddRegion(name+"-cmdq", mem.DeviceBRAM,
+		uint64(params.CmdQueueEntries*CommandSize)+8, true)
+	fab.Attach(e.port, e.cmdq)
+	e.cmdq.SetWriteHook(e.onCmdqWrite)
+
+	e.ddr3 = mm.AddRegion(name+"-ddr3", mem.DeviceDRAM, params.DDR3Bytes, true)
+	fab.Attach(e.port, e.ddr3)
+	e.chunks = mem.NewChunkPool(e.ddr3, ChunkSize, params.ChunkCount)
+	e.recvPool = mem.NewChunkPool(e.ddr3, 2048, params.RecvBufs)
+	e.chunkCond = sim.NewCond(env)
+	e.prpList = e.ddr3.Alloc(4096, 4096)
+	e.cplBuf = e.ddr3.Alloc(64, 64)
+	e.mirrorBuf = e.ddr3.Alloc(8, 8)
+	for i := 0; i < params.CmdQueueEntries; i++ {
+		e.extBufs = append(e.extBufs, e.ddr3.Alloc(4096, 64))
+	}
+
+	e.traces = map[uint32]*CmdTrace{}
+	e.sb = NewScoreboard(env, params.ScoreboardEntries, params.ScoreboardOp)
+	env.Spawn(name+"-parser", e.parserLoop)
+	env.Spawn(name+"-completer", e.completerLoop)
+	return e
+}
+
+// Budget returns the engine's FPGA resource budget (Table IV).
+func (e *Engine) Budget() *fpga.Budget { return e.budget }
+
+// Scoreboard returns the engine's scoreboard (diagnostics).
+func (e *Engine) Scoreboard() *Scoreboard { return e.sb }
+
+// Port returns the engine's fabric port.
+func (e *Engine) Port() *pcie.Port { return e.port }
+
+// DDR3 returns the on-board memory region.
+func (e *Engine) DDR3() *mem.Region { return e.ddr3 }
+
+// CommandsDone returns the number of completed D2D commands.
+func (e *Engine) CommandsDone() int64 { return e.cmdsDone }
+
+// AttachSSD creates an NVMe standard device controller with its queue
+// pair in engine BRAM (Figure 7a) and returns the device index D2D
+// commands use to address it. The flexibility story of §III-C:
+// attaching another off-the-shelf SSD is one more controller instance.
+func (e *Engine) AttachSSD(ssd *nvme.SSD, qid uint16) uint8 {
+	idx := len(e.nvmeCtls)
+	if idx > 255 {
+		panic("hdc: too many SSDs")
+	}
+	e.nvmeCtls = append(e.nvmeCtls, newNVMeCtrl(e, ssd, qid, e.params.NVMeEntries, idx))
+	return uint8(idx)
+}
+
+// SSDCount returns the number of attached SSDs.
+func (e *Engine) SSDCount() int { return len(e.nvmeCtls) }
+
+// AttachNIC creates NIC standard device controllers with dedicated
+// rings in engine BRAM (Figure 7b), one per queue id. A 10-GbE
+// deployment needs one queue pair; provisioning for 40 GbE means
+// several, with connections spread across them.
+func (e *Engine) AttachNIC(dev *nic.NIC, qids ...uint16) {
+	if len(e.nicCtls) > 0 {
+		panic("hdc: NIC already attached")
+	}
+	if len(qids) == 0 {
+		panic("hdc: AttachNIC needs at least one queue id")
+	}
+	for _, qid := range qids {
+		e.nicCtls = append(e.nicCtls, newNICCtrl(e, dev, qid, e.params.NICEntries))
+	}
+}
+
+// NIC returns the first NIC controller (diagnostics/compatibility).
+func (e *Engine) NIC() *NICCtrl { return e.nicCtls[0] }
+
+// ctrlFor returns the NIC controller owning a connection.
+func (e *Engine) ctrlFor(connID uint64) *NICCtrl {
+	c, ok := e.connOwner[connID]
+	if !ok {
+		panic(fmt.Sprintf("hdc: connection %d not registered", connID))
+	}
+	return c
+}
+
+// AddNDP provisions a bank of the unit sized for the engine's target
+// line rate, claiming FPGA resources.
+func (e *Engine) AddNDP(fn uint8, unit ndp.Streamer) error {
+	if _, dup := e.banks[fn]; dup {
+		return fmt.Errorf("hdc: NDP fn %s already provisioned", FnName(fn))
+	}
+	bank, err := ndp.NewBank(e.env, e.budget, unit, e.params.NDPTargetBps)
+	if err != nil {
+		return err
+	}
+	e.banks[fn] = bank
+	e.streamer[fn] = unit
+	return nil
+}
+
+// ProvisionAESKey installs an AES-256 key in a key slot; D2D commands
+// select it through AuxData. Keys live in unit registers, so no extra
+// fabric is claimed beyond the aes256 bank itself.
+func (e *Engine) ProvisionAESKey(slot uint64, key [32]byte) {
+	e.aesKeys[slot] = &ndp.AES256{Key: key}
+}
+
+// Bank returns the provisioned bank for an NDP function.
+func (e *Engine) Bank(fn uint8) (*ndp.Bank, bool) {
+	b, ok := e.banks[fn]
+	return b, ok
+}
+
+// ConfigureHost installs the host completion path and starts the
+// interrupt generator.
+func (e *Engine) ConfigureHost(cfg HostConfig) {
+	if e.hostSet {
+		panic("hdc: host already configured")
+	}
+	if cfg.CplRing.Size < uint64(e.params.CmdQueueEntries*CplEntrySize) {
+		panic("hdc: completion ring too small")
+	}
+	e.host = cfg
+	e.hostSet = true
+}
+
+// CmdSlotAddr returns the bus address of command-queue slot i — the
+// driver writes D2D commands here by MMIO.
+func (e *Engine) CmdSlotAddr(i int) mem.Addr {
+	return e.cmdq.Base + mem.Addr(i*CommandSize)
+}
+
+// TailDoorbell returns the command-queue tail doorbell address.
+func (e *Engine) TailDoorbell() mem.Addr {
+	return e.cmdq.Base + mem.Addr(e.params.CmdQueueEntries*CommandSize)
+}
+
+func (e *Engine) onCmdqWrite(off uint64, n int) {
+	if off == uint64(e.params.CmdQueueEntries*CommandSize) {
+		e.cmdTail = binary.LittleEndian.Uint64(e.cmdq.Bytes(off, 8))
+		e.cmdKick.Broadcast()
+	}
+}
+
+// parserLoop is the command parser of §IV-C: it decodes queued D2D
+// commands in order and admits them to the scoreboard pipeline.
+func (e *Engine) parserLoop(p *sim.Proc) {
+	for {
+		for e.cmdHead == e.cmdTail {
+			e.cmdKick.Wait(p)
+		}
+		slot := e.cmdHead % uint64(e.params.CmdQueueEntries)
+		raw := make([]byte, CommandSize)
+		e.cmdq.ReadAt(slot*CommandSize, raw)
+		e.cmdHead++
+		p.Sleep(e.params.CmdParse)
+		cmd, err := DecodeCommand(raw)
+		if err == nil {
+			err = cmd.Validate()
+		}
+		e.submitted = append(e.submitted, cmd.ID)
+		if err != nil {
+			e.finish(cmd.ID, 1, nil)
+			e.mirrorHead(p)
+			continue
+		}
+		c := cmd
+		e.env.Spawn(fmt.Sprintf("%s-cmd%d", e.name, cmd.ID), func(ep *sim.Proc) {
+			e.execute(ep, c)
+		})
+		e.mirrorHead(p)
+	}
+}
+
+// mirrorHead publishes the consumed-command counter to host memory so
+// the driver can track free command-queue slots.
+func (e *Engine) mirrorHead(p *sim.Proc) {
+	if !e.hostSet || e.host.HeadMirror == 0 {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], e.cmdHead)
+	e.fab.Mem().Write(e.mirrorBuf, b[:])
+	e.fab.MustDMA(p, e.port, e.host.HeadMirror, e.mirrorBuf, 8)
+}
+
+// finish records a command result; the completer delivers results in
+// submission order (§IV-C: completions are notified in order).
+func (e *Engine) finish(id uint32, status uint32, aux []byte) {
+	e.finished[id] = cmdResult{id: id, status: status, aux: aux}
+	e.cplCond.Broadcast()
+}
+
+// completerLoop drains in-order-finished commands to the host
+// completion ring and raises MSI.
+func (e *Engine) completerLoop(p *sim.Proc) {
+	for {
+		for len(e.submitted) == 0 || !e.headFinished() {
+			e.cplCond.Wait(p)
+		}
+		id := e.submitted[0]
+		e.submitted = e.submitted[1:]
+		res := e.finished[id]
+		delete(e.finished, id)
+
+		p.Sleep(e.params.CompletionPost)
+		if e.hostSet {
+			var entry [CplEntrySize]byte
+			binary.LittleEndian.PutUint32(entry[0:], res.id)
+			binary.LittleEndian.PutUint32(entry[4:], res.status)
+			binary.LittleEndian.PutUint32(entry[8:], uint32(len(res.aux)))
+			entry[12] = 1 // valid
+			copy(entry[16:], res.aux)
+			slot := e.cplCount % uint64(e.params.CmdQueueEntries)
+			e.fab.Mem().Write(e.cplBuf, entry[:])
+			e.fab.MustDMA(p, e.port, e.host.CplRing.Base+mem.Addr(slot*CplEntrySize), e.cplBuf, CplEntrySize)
+			e.cplCount++
+			e.fab.RaiseMSI(e.host.MSIVector)
+		}
+		e.cmdsDone++
+	}
+}
+
+func (e *Engine) headFinished() bool {
+	_, ok := e.finished[e.submitted[0]]
+	return ok
+}
+
+// allocChunk takes a 64 KB intermediate buffer, blocking while the
+// pool is dry (back-pressure toward the scoreboard).
+func (e *Engine) allocChunk(p *sim.Proc) mem.Addr {
+	for {
+		if a, ok := e.chunks.Get(); ok {
+			return a
+		}
+		e.chunkCond.Wait(p)
+	}
+}
+
+// freeChunk returns an intermediate buffer.
+func (e *Engine) freeChunk(a mem.Addr) {
+	e.chunks.Put(a)
+	e.chunkCond.Broadcast()
+}
+
+// RegisterConnection assigns the connection to a NIC controller
+// (round-robin) and installs its flow state there.
+func (e *Engine) RegisterConnection(id uint64, flow ether.Flow, txSeq, rxSeq uint32) {
+	if len(e.nicCtls) == 0 {
+		panic("hdc: no NIC attached")
+	}
+	ctl := e.nicCtls[e.nextNICRR%len(e.nicCtls)]
+	e.nextNICRR++
+	e.connOwner[id] = ctl
+	ctl.RegisterConnection(id, flow, txSeq, rxSeq)
+}
+
+// EnableTracing records per-command milestone stamps.
+func (e *Engine) EnableTracing() { e.tracing = true }
+
+// TraceOf returns the recorded milestones of a command.
+func (e *Engine) TraceOf(id uint32) (CmdTrace, bool) {
+	t, ok := e.traces[id]
+	if !ok {
+		return CmdTrace{}, false
+	}
+	return *t, true
+}
+
+// DebugState prints engine state (diagnostics).
+func (e *Engine) DebugState() string {
+	out := fmt.Sprintf("cmds: head=%d tail=%d done=%d submitted=%v finishedIDs=%d chunks(free=%d low=%d) sbLive=%d",
+		e.cmdHead, e.cmdTail, e.cmdsDone, e.submitted, len(e.finished), e.chunks.Free(), e.chunks.LowWater(), e.sb.Live())
+	for _, ctl := range e.nicCtls {
+		out += "\n" + ctl.DebugState()
+	}
+	return out
+}
+
+// Counters exposes key engine counters for reporting.
+func (e *Engine) Counters() *trace.Counter {
+	c := trace.NewCounter()
+	c.Inc("cmds-done", e.cmdsDone)
+	issued, done := e.sb.Stats()
+	c.Inc("sb-issued", issued)
+	c.Inc("sb-done", done)
+	for i, ctl := range e.nvmeCtls {
+		c.Inc(fmt.Sprintf("nvme%d-cmds", i), ctl.cmds)
+	}
+	for i, ctl := range e.nicCtls {
+		c.Inc(fmt.Sprintf("nic%d-send-jobs", i), ctl.sendJobs)
+		c.Inc(fmt.Sprintf("nic%d-recv-pkts", i), ctl.recvPkts)
+		c.Inc(fmt.Sprintf("nic%d-gathered-bytes", i), ctl.gatheredBytes)
+	}
+	return c
+}

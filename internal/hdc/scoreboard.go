@@ -1,0 +1,161 @@
+package hdc
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/sim"
+)
+
+// EntryState is a scoreboard entry's lifecycle state (Figure 6).
+type EntryState int
+
+// Scoreboard entry states: wait (dependencies outstanding), ready
+// (issuable), issue (at a device controller), done.
+const (
+	StateWait EntryState = iota
+	StateReady
+	StateIssue
+	StateDone
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case StateWait:
+		return "wait"
+	case StateReady:
+		return "ready"
+	case StateIssue:
+		return "issue"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Entry is one device command tracked by the scoreboard: which device
+// it targets, read/write direction, source and destination addresses,
+// auxiliary data, and state — the fields of Figure 6.
+type Entry struct {
+	CmdID uint32 // owning D2D command
+	Seq   int    // chunk sequence within the command
+	Dev   string // "nvme", "nic", "ndp"
+	RW    byte   // 'R' or 'W'
+	Src   uint64
+	Dst   uint64
+	Aux   uint64
+	State EntryState
+
+	deps []*Entry
+	sb   *Scoreboard
+}
+
+// DepsDone reports whether every dependency has completed.
+func (e *Entry) DepsDone() bool {
+	for _, d := range e.deps {
+		if d.State != StateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Scoreboard tracks all in-flight device commands for user-requested
+// multi-device tasks. Capacity is bounded (hardware entries); Alloc
+// blocks when full, back-pressuring the command parser.
+type Scoreboard struct {
+	env      *sim.Env
+	cap      int
+	live     int
+	opCost   sim.Time // per state transition (FPGA cycles)
+	freeCond *sim.Cond
+	issued   int64
+	done     int64
+	maxLive  int
+}
+
+// NewScoreboard returns a scoreboard with the given entry capacity and
+// per-operation cost.
+func NewScoreboard(env *sim.Env, capacity int, opCost sim.Time) *Scoreboard {
+	if capacity < 1 {
+		panic("hdc: scoreboard capacity")
+	}
+	return &Scoreboard{env: env, cap: capacity, opCost: opCost, freeCond: sim.NewCond(env)}
+}
+
+// OpCost returns the per-transition cost (charged by the caller's
+// process to keep timing attribution at the call site).
+func (s *Scoreboard) OpCost() sim.Time { return s.opCost }
+
+// Live returns the number of allocated, not-yet-retired entries.
+func (s *Scoreboard) Live() int { return s.live }
+
+// MaxLive returns the high-water mark of live entries.
+func (s *Scoreboard) MaxLive() int { return s.maxLive }
+
+// Stats returns issued and completed device-command counts.
+func (s *Scoreboard) Stats() (issued, done int64) { return s.issued, s.done }
+
+// Alloc creates an entry in StateWait, blocking while the scoreboard
+// is full. deps are the entries that must complete before this one
+// may issue.
+func (s *Scoreboard) Alloc(p *sim.Proc, cmdID uint32, seq int, dev string, rw byte, deps ...*Entry) *Entry {
+	for s.live >= s.cap {
+		s.freeCond.Wait(p)
+	}
+	p.Sleep(s.opCost)
+	s.live++
+	if s.live > s.maxLive {
+		s.maxLive = s.live
+	}
+	return &Entry{CmdID: cmdID, Seq: seq, Dev: dev, RW: rw, State: StateWait, deps: deps, sb: s}
+}
+
+// MarkReady transitions wait->ready once the owner has filled in the
+// addressing fields.
+func (e *Entry) MarkReady(p *sim.Proc) {
+	if e.State != StateWait {
+		panic(fmt.Sprintf("hdc: MarkReady from %v", e.State))
+	}
+	p.Sleep(e.sb.opCost)
+	e.State = StateReady
+}
+
+// Issue transitions ready->issue; the scoreboard refuses when
+// dependencies are outstanding (the "conflict" case of §III-B).
+func (e *Entry) Issue(p *sim.Proc) error {
+	if e.State != StateReady {
+		return fmt.Errorf("hdc: issue from %v", e.State)
+	}
+	if !e.DepsDone() {
+		return fmt.Errorf("hdc: issue of %s[%d.%d] with incomplete dependencies", e.Dev, e.CmdID, e.Seq)
+	}
+	p.Sleep(e.sb.opCost)
+	e.State = StateIssue
+	e.sb.issued++
+	return nil
+}
+
+// WaitDeps blocks until all dependencies are done, then issues. This
+// is the scheduler's delay-until-ready behaviour; completion of any
+// entry broadcasts the scoreboard condition.
+func (e *Entry) WaitDeps(p *sim.Proc) {
+	for !e.DepsDone() {
+		e.sb.freeCond.Wait(p)
+	}
+	if err := e.Issue(p); err != nil {
+		panic(err)
+	}
+}
+
+// Done retires the entry, freeing its slot and waking waiters.
+func (e *Entry) Done(p *sim.Proc) {
+	if e.State != StateIssue {
+		panic(fmt.Sprintf("hdc: Done from %v", e.State))
+	}
+	p.Sleep(e.sb.opCost)
+	e.State = StateDone
+	e.sb.live--
+	e.sb.done++
+	e.sb.freeCond.Broadcast()
+}

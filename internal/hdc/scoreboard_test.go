@@ -1,0 +1,144 @@
+package hdc
+
+import (
+	"testing"
+
+	"dcsctrl/internal/sim"
+)
+
+func TestScoreboardLifecycle(t *testing.T) {
+	env := sim.NewEnv()
+	sb := NewScoreboard(env, 8, 100*sim.Nanosecond)
+	var states []EntryState
+	env.Spawn("owner", func(p *sim.Proc) {
+		e := sb.Alloc(p, 1, 0, "nvme", 'R')
+		states = append(states, e.State)
+		e.MarkReady(p)
+		states = append(states, e.State)
+		if err := e.Issue(p); err != nil {
+			t.Error(err)
+		}
+		states = append(states, e.State)
+		e.Done(p)
+		states = append(states, e.State)
+	})
+	env.Run(-1)
+	want := []EntryState{StateWait, StateReady, StateIssue, StateDone}
+	for i, s := range want {
+		if states[i] != s {
+			t.Fatalf("state[%d] = %v, want %v", i, states[i], s)
+		}
+	}
+	if issued, done := sb.Stats(); issued != 1 || done != 1 {
+		t.Fatalf("stats: %d %d", issued, done)
+	}
+	if sb.Live() != 0 {
+		t.Fatalf("live = %d", sb.Live())
+	}
+}
+
+func TestScoreboardIssueBlockedByDependency(t *testing.T) {
+	// §III-B: "the scoreboard does not issue the second NIC command
+	// until the first NVMe command is completed".
+	env := sim.NewEnv()
+	sb := NewScoreboard(env, 8, 0)
+	var issueErr error
+	var issuedAt sim.Time
+	env.Spawn("owner", func(p *sim.Proc) {
+		read := sb.Alloc(p, 1, 0, "nvme", 'R')
+		read.MarkReady(p)
+		if err := read.Issue(p); err != nil {
+			t.Error(err)
+		}
+		send := sb.Alloc(p, 1, 0, "nic", 'W', read)
+		send.MarkReady(p)
+		issueErr = send.Issue(p) // premature: dependency outstanding
+		env.Spawn("device", func(dp *sim.Proc) {
+			dp.Sleep(20 * sim.Microsecond)
+			read.Done(dp)
+		})
+		send.WaitDeps(p) // delays until the read completes, then issues
+		issuedAt = p.Now()
+		send.Done(p)
+	})
+	env.Run(-1)
+	if issueErr == nil {
+		t.Fatal("issue with incomplete dependency accepted")
+	}
+	if issuedAt != 20*sim.Microsecond {
+		t.Fatalf("issued at %v, want 20µs", issuedAt)
+	}
+}
+
+func TestScoreboardCapacityBackpressure(t *testing.T) {
+	env := sim.NewEnv()
+	sb := NewScoreboard(env, 2, 0)
+	var thirdAllocAt sim.Time
+	env.Spawn("owner", func(p *sim.Proc) {
+		a := sb.Alloc(p, 1, 0, "nvme", 'R')
+		b := sb.Alloc(p, 1, 1, "nvme", 'R')
+		for _, e := range []*Entry{a, b} {
+			e.MarkReady(p)
+			if err := e.Issue(p); err != nil {
+				t.Error(err)
+			}
+		}
+		env.Spawn("finisher", func(fp *sim.Proc) {
+			fp.Sleep(15 * sim.Microsecond)
+			a.Done(fp)
+		})
+		c := sb.Alloc(p, 1, 2, "nic", 'W') // blocks until a slot frees
+		thirdAllocAt = p.Now()
+		c.MarkReady(p)
+		c.Issue(p)
+		c.Done(p)
+		b.Done(p)
+	})
+	env.Run(-1)
+	if thirdAllocAt != 15*sim.Microsecond {
+		t.Fatalf("third alloc at %v, want 15µs", thirdAllocAt)
+	}
+	if sb.MaxLive() != 2 {
+		t.Fatalf("max live = %d", sb.MaxLive())
+	}
+}
+
+func TestScoreboardStateStrings(t *testing.T) {
+	for s, want := range map[EntryState]string{
+		StateWait: "wait", StateReady: "ready", StateIssue: "issue", StateDone: "done",
+	} {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+}
+
+func TestScoreboardBadTransitionsPanic(t *testing.T) {
+	env := sim.NewEnv()
+	sb := NewScoreboard(env, 4, 0)
+	paniced := 0
+	env.Spawn("owner", func(p *sim.Proc) {
+		e := sb.Alloc(p, 1, 0, "nvme", 'R')
+		func() {
+			defer func() {
+				if recover() != nil {
+					paniced++
+				}
+			}()
+			e.Done(p) // wait -> done is illegal
+		}()
+		e.MarkReady(p)
+		func() {
+			defer func() {
+				if recover() != nil {
+					paniced++
+				}
+			}()
+			e.MarkReady(p) // ready -> ready is illegal
+		}()
+	})
+	env.Run(-1)
+	if paniced != 2 {
+		t.Fatalf("paniced = %d", paniced)
+	}
+}

@@ -1,0 +1,157 @@
+// Package hostos models the host side of the testbed: CPU cores, the
+// cost of software code paths (syscalls, VFS, block layer, TCP/IP
+// stack, interrupts), a file system with extent maps and a page cache,
+// and per-category CPU accounting.
+//
+// The paper's argument is about where CPU cycles go, so every software
+// step here is an Exec: acquire a core, advance time, release, and
+// charge a trace.Category. Utilization figures (3b, 8, 12, 13) fall
+// out of the accounting directly.
+package hostos
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/sim"
+	"dcsctrl/internal/trace"
+)
+
+// Params hold the calibrated costs of host software paths. The
+// defaults approximate the evaluation platform: a 6-core Xeon E5-2630
+// running an optimized (direct-I/O, reduced-copy) kernel stack, per
+// the paper's choice of baseline (§II-B1).
+type Params struct {
+	Cores int
+
+	SyscallEntry  sim.Time // user->kernel crossing
+	SyscallExit   sim.Time // kernel->user crossing
+	VFSLookup     sim.Time // path/extent resolution per request
+	PageCacheOp   sim.Time // stock-kernel page cache management per page
+	BlockSubmit   sim.Time // block layer + NVMe driver: build/submit one command
+	BlockComplete sim.Time // NVMe driver completion handling per command
+	SockSendSetup sim.Time // socket send path fixed cost per call
+	SockPerSeg    sim.Time // TCP/IP per-segment cost (header build, descriptor)
+	SockBufOp     sim.Time // stock-kernel socket buffer management per call
+	SockRecvSetup sim.Time // socket receive path fixed cost per call
+	IRQOverhead   sim.Time // interrupt entry/exit + schedule
+	CtxSwitch     sim.Time // blocking wait: sleep + wakeup cost
+	GPULaunch     sim.Time // CPU-side cost to launch a GPU kernel
+	GPUDMASetup   sim.Time // CPU-side cost to program one GPU copy
+	CopyBps       float64  // CPU memcpy bandwidth, bits/s
+}
+
+// DefaultParams return the calibrated host costs.
+func DefaultParams() Params {
+	return Params{
+		Cores:         6,
+		SyscallEntry:  500 * sim.Nanosecond,
+		SyscallExit:   500 * sim.Nanosecond,
+		VFSLookup:     3500 * sim.Nanosecond,
+		PageCacheOp:   1200 * sim.Nanosecond,
+		BlockSubmit:   6000 * sim.Nanosecond,
+		BlockComplete: 4000 * sim.Nanosecond,
+		SockSendSetup: 12000 * sim.Nanosecond,
+		SockPerSeg:    800 * sim.Nanosecond,
+		SockBufOp:     2500 * sim.Nanosecond,
+		SockRecvSetup: 6000 * sim.Nanosecond,
+		IRQOverhead:   1000 * sim.Nanosecond,
+		CtxSwitch:     1200 * sim.Nanosecond,
+		GPULaunch:     10000 * sim.Nanosecond,
+		GPUDMASetup:   8000 * sim.Nanosecond,
+		CopyBps:       48e9, // ~6 GB/s single-core memcpy
+	}
+}
+
+// Host is a CPU complex: cores, accounting, and an IRQ service path.
+type Host struct {
+	Env    *sim.Env
+	Params Params
+	Cores  *sim.Resource
+	Acct   *trace.CPUAccount
+
+	irqQ *sim.Queue[irqWork]
+}
+
+type irqWork struct {
+	cost sim.Time
+	cat  trace.Category
+	fn   func()
+}
+
+// NewHost builds a host with params.Cores cores and starts the IRQ
+// service process.
+func NewHost(env *sim.Env, params Params) *Host {
+	if params.Cores <= 0 {
+		panic(fmt.Sprintf("hostos: %d cores", params.Cores))
+	}
+	h := &Host{
+		Env:    env,
+		Params: params,
+		Cores:  sim.NewResource(env, "cpu-cores", params.Cores),
+		Acct:   trace.NewCPUAccount(env),
+		irqQ:   sim.NewQueue[irqWork](env, "irq"),
+	}
+	env.Spawn("irq-service", h.irqLoop)
+	return h
+}
+
+func (h *Host) irqLoop(p *sim.Proc) {
+	for {
+		w := h.irqQ.Get(p)
+		h.Exec(p, w.cat, h.Params.IRQOverhead+w.cost, nil)
+		if w.fn != nil {
+			w.fn()
+		}
+	}
+}
+
+// Exec occupies one core for d, charging category cat and, when bd is
+// non-nil, the latency breakdown too. This is the single choke point
+// through which all modelled software cost flows.
+func (h *Host) Exec(p *sim.Proc, cat trace.Category, d sim.Time, bd *trace.Breakdown) {
+	if d <= 0 {
+		return
+	}
+	h.Cores.Acquire(p)
+	p.Sleep(d)
+	h.Cores.Release()
+	h.Acct.Charge(cat, d)
+	if bd != nil {
+		bd.Add(cat, d)
+	}
+}
+
+// RaiseIRQ enqueues interrupt work: IRQ overhead plus cost is charged
+// to cat on a core, then fn runs (non-blocking; typically fires a
+// signal that wakes a sleeping driver thread).
+func (h *Host) RaiseIRQ(cat trace.Category, cost sim.Time, fn func()) {
+	h.irqQ.Put(irqWork{cost: cost, cat: cat, fn: fn})
+}
+
+// CopyTime returns the single-core time to memcpy n bytes.
+func (h *Host) CopyTime(n int) sim.Time {
+	return sim.BpsToTime(n, h.Params.CopyBps)
+}
+
+// Copy charges a CPU-mediated copy of n bytes to category cat.
+func (h *Host) Copy(p *sim.Proc, cat trace.Category, n int, bd *trace.Breakdown) {
+	h.Exec(p, cat, h.CopyTime(n), bd)
+}
+
+// BlockOnDevice models a thread blocking for a device completion: the
+// context-switch pair is charged, but the wait itself burns no CPU.
+// It returns after sig fires.
+func (h *Host) BlockOnDevice(p *sim.Proc, sig *sim.Signal, bd *trace.Breakdown) {
+	h.Exec(p, trace.CatInterrupt, h.Params.CtxSwitch, bd)
+	start := p.Now()
+	sig.Wait(p)
+	if bd != nil {
+		bd.Add(trace.CatIdleWait, p.Now()-start)
+	}
+}
+
+// Utilization returns total CPU utilization across all cores since the
+// last account reset.
+func (h *Host) Utilization() float64 {
+	return h.Acct.TotalUtilization(h.Params.Cores)
+}

@@ -1,0 +1,205 @@
+// Package mem models the physical address space of the testbed: host
+// DRAM, device BARs (HDC Engine BRAM and on-board DDR3, GPU VRAM), and
+// the buffers that live in them. All regions carry real bytes, so the
+// data plane is functionally testable end-to-end.
+//
+// Regions can refuse inbound peer-to-peer traffic. This is how the
+// testbed encodes the paper's observation (§V-A) that an NVMe SSD and
+// a NIC cannot talk directly: both are DMA masters whose internal
+// memory is not exposed on the bus, so software-controlled P2P has no
+// target to aim at. The HDC Engine's BRAM/DDR3 *are* exposed, which is
+// exactly what makes the DCS-ctrl path possible.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a memory region.
+type Kind int
+
+// Region kinds.
+const (
+	HostDRAM       Kind = iota // host main memory
+	DeviceBRAM                 // FPGA on-chip block RAM (fast, small)
+	DeviceDRAM                 // FPGA on-board DDR3 (1 GB on the VC707)
+	GPUVRAM                    // GPU device memory
+	DeviceInternal             // device-private memory, not bus-addressable
+	MMIO                       // register window (doorbells)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HostDRAM:
+		return "host-dram"
+	case DeviceBRAM:
+		return "device-bram"
+	case DeviceDRAM:
+		return "device-dram"
+	case GPUVRAM:
+		return "gpu-vram"
+	case DeviceInternal:
+		return "device-internal"
+	case MMIO:
+		return "mmio"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Addr is a 64-bit physical bus address.
+type Addr uint64
+
+// Region is a contiguous span of the physical address space.
+type Region struct {
+	Name string
+	Kind Kind
+	Base Addr
+	Size uint64
+
+	// P2PTarget reports whether peer devices may DMA into/out of this
+	// region. Host DRAM and exposed BARs are targets; device-internal
+	// memory (SSD data buffers, NIC FIFOs) is not.
+	P2PTarget bool
+
+	data      []byte
+	writeHook func(off uint64, n int)
+	allocOff  uint64 // bump allocator cursor
+}
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr Addr) bool {
+	return addr >= r.Base && uint64(addr-r.Base) < r.Size
+}
+
+// End returns the first address past the region.
+func (r *Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// SetWriteHook installs fn to be called after every write into the
+// region with the written offset and length. This is the discrete-
+// event analogue of hardware continuously snooping a completion-queue
+// phase bit: in RTL the poll is free, here it is an event.
+func (r *Region) SetWriteHook(fn func(off uint64, n int)) { r.writeHook = fn }
+
+func (r *Region) check(off uint64, n int) {
+	if n < 0 || off+uint64(n) > r.Size {
+		panic(fmt.Sprintf("mem: access [%d,%d) outside region %s size %d",
+			off, off+uint64(n), r.Name, r.Size))
+	}
+}
+
+// WriteAt copies p into the region at off and fires the write hook.
+func (r *Region) WriteAt(off uint64, p []byte) {
+	r.check(off, len(p))
+	copy(r.data[off:], p)
+	if r.writeHook != nil {
+		r.writeHook(off, len(p))
+	}
+}
+
+// ReadAt copies from the region at off into p.
+func (r *Region) ReadAt(off uint64, p []byte) {
+	r.check(off, len(p))
+	copy(p, r.data[off:])
+}
+
+// Bytes returns a read-only view of [off, off+n). The caller must not
+// retain it across simulated time.
+func (r *Region) Bytes(off uint64, n int) []byte {
+	r.check(off, n)
+	return r.data[off : off+uint64(n)]
+}
+
+// Alloc carves n bytes (aligned) out of the region with a bump
+// allocator and returns the bus address. It panics when the region is
+// exhausted: the testbed sizes regions up front, as hardware does.
+func (r *Region) Alloc(n uint64, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	off := (r.allocOff + align - 1) &^ (align - 1)
+	if off+n > r.Size {
+		panic(fmt.Sprintf("mem: region %s exhausted (%d + %d > %d)", r.Name, off, n, r.Size))
+	}
+	r.allocOff = off + n
+	return r.Base + Addr(off)
+}
+
+// AllocBytes returns the allocated span's free space remaining.
+func (r *Region) FreeBytes() uint64 { return r.Size - r.allocOff }
+
+// Map is the global bus address map: it assigns bases to regions and
+// resolves addresses back to (region, offset).
+type Map struct {
+	regions []*Region
+	next    Addr
+}
+
+// NewMap returns an empty address map starting at 4 GiB (leaving the
+// low range free, as a real platform does).
+func NewMap() *Map { return &Map{next: 4 << 30} }
+
+// AddRegion creates and maps a region of the given size.
+func (m *Map) AddRegion(name string, kind Kind, size uint64, p2pTarget bool) *Region {
+	r := &Region{
+		Name:      name,
+		Kind:      kind,
+		Base:      m.next,
+		Size:      size,
+		P2PTarget: p2pTarget,
+		data:      make([]byte, size),
+	}
+	m.regions = append(m.regions, r)
+	// Keep a guard gap between regions so off-by-one addressing faults
+	// are caught instead of silently landing in a neighbour.
+	m.next += Addr(size) + 1<<20
+	return r
+}
+
+// Resolve returns the region containing addr and the offset within it.
+func (m *Map) Resolve(addr Addr) (*Region, uint64, error) {
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].End() > addr
+	})
+	if i < len(m.regions) && m.regions[i].Contains(addr) {
+		return m.regions[i], uint64(addr - m.regions[i].Base), nil
+	}
+	return nil, 0, fmt.Errorf("mem: unmapped address %#x", uint64(addr))
+}
+
+// MustResolve is Resolve that panics on unmapped addresses (device
+// models treat a bad address as a modelling bug, not a runtime error).
+func (m *Map) MustResolve(addr Addr) (*Region, uint64) {
+	r, off, err := m.Resolve(addr)
+	if err != nil {
+		panic(err)
+	}
+	return r, off
+}
+
+// Regions returns all mapped regions in address order.
+func (m *Map) Regions() []*Region { return append([]*Region(nil), m.regions...) }
+
+// Write copies p to the absolute address addr.
+func (m *Map) Write(addr Addr, p []byte) {
+	r, off := m.MustResolve(addr)
+	r.WriteAt(off, p)
+}
+
+// Read copies n bytes from the absolute address addr.
+func (m *Map) Read(addr Addr, n int) []byte {
+	r, off := m.MustResolve(addr)
+	p := make([]byte, n)
+	r.ReadAt(off, p)
+	return p
+}
+
+// Copy moves n bytes from src to dst through a bounce buffer,
+// preserving write-hook semantics at the destination.
+func (m *Map) Copy(dst, src Addr, n int) {
+	if n == 0 {
+		return
+	}
+	m.Write(dst, m.Read(src, n))
+}

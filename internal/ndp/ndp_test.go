@@ -1,0 +1,244 @@
+package ndp
+
+import (
+	"bytes"
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+
+	"dcsctrl/internal/fpga"
+	"dcsctrl/internal/sim"
+)
+
+func data(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i*17 + 3)
+	}
+	return out
+}
+
+func TestIntegrityUnitsMatchStdlib(t *testing.T) {
+	in := data(10000)
+	md := md5.Sum(in)
+	s1 := sha1.Sum(in)
+	s256 := sha256.Sum256(in)
+	c := crc32.ChecksumIEEE(in)
+	crcBE := []byte{byte(c >> 24), byte(c >> 16), byte(c >> 8), byte(c)}
+
+	cases := []struct {
+		unit Unit
+		want []byte
+	}{
+		{MD5{}, md[:]},
+		{SHA1{}, s1[:]},
+		{SHA256{}, s256[:]},
+		{CRC32{}, crcBE},
+	}
+	for _, tc := range cases {
+		out, aux, err := tc.unit.Transform(in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.unit.Name(), err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("%s modified pass-through data", tc.unit.Name())
+		}
+		if !bytes.Equal(aux, tc.want) {
+			t.Fatalf("%s digest mismatch", tc.unit.Name())
+		}
+	}
+}
+
+func TestAESRoundTripProperty(t *testing.T) {
+	unit := &AES256{Key: [32]byte{1, 2, 3}, IV: [16]byte{9}}
+	f := func(in []byte) bool {
+		ct, _, err := unit.Transform(in)
+		if err != nil {
+			return false
+		}
+		if len(in) > 0 && bytes.Equal(ct, in) {
+			return false // encryption must change non-empty data
+		}
+		pt, _, err := unit.Transform(ct) // CTR is symmetric
+		return err == nil && bytes.Equal(pt, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAESKeyMatters(t *testing.T) {
+	a := &AES256{Key: [32]byte{1}}
+	b := &AES256{Key: [32]byte{2}}
+	in := data(100)
+	ca, _, _ := a.Transform(in)
+	cb, _, _ := b.Transform(in)
+	if bytes.Equal(ca, cb) {
+		t.Fatal("different keys produced identical ciphertext")
+	}
+}
+
+func TestGzipRoundTripProperty(t *testing.T) {
+	f := func(in []byte) bool {
+		ct, _, err := (GZIP{}).Transform(in)
+		if err != nil {
+			return false
+		}
+		pt, _, err := (GUNZIP{}).Transform(ct)
+		return err == nil && bytes.Equal(pt, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGzipCompresses(t *testing.T) {
+	in := bytes.Repeat([]byte("scale-out storage "), 1000)
+	ct, _, err := (GZIP{}).Transform(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) >= len(in)/2 {
+		t.Fatalf("repetitive data compressed %d -> %d", len(in), len(ct))
+	}
+}
+
+func TestGunzipRejectsGarbage(t *testing.T) {
+	if _, _, err := (GUNZIP{}).Transform([]byte("not gzip")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestUnitsForTableIII(t *testing.T) {
+	// Instances needed to sustain 10 Gbps, per Table III throughputs.
+	cases := []struct {
+		unit Unit
+		want int
+	}{
+		{MD5{}, 11}, {SHA1{}, 10}, {SHA256{}, 13},
+		{&AES256{}, 1}, {CRC32{}, 1}, {GZIP{}, 1},
+	}
+	for _, tc := range cases {
+		if got := UnitsFor(tc.unit, TargetBps); got != tc.want {
+			t.Fatalf("%s: %d units, want %d", tc.unit.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestBankProvisioningClaimsResources(t *testing.T) {
+	budget := fpga.NewBudget(fpga.Virtex7VC707())
+	for _, u := range fpga.ControllersUsage() {
+		budget.MustClaim(u)
+	}
+	env := sim.NewEnv()
+	bank, err := NewBank(env, budget, MD5{}, TargetBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bank.Units() != 11 {
+		t.Fatalf("units = %d", bank.Units())
+	}
+	if bank.AggregateBps() < TargetBps {
+		t.Fatalf("aggregate %.2f Gbps < target", bank.AggregateBps()/1e9)
+	}
+	luts, _, _, _ := budget.Totals()
+	if luts <= 116344 {
+		t.Fatal("bank claimed no LUTs")
+	}
+	// The remaining fabric still fits the other Table III banks — the
+	// paper's headroom claim (§IV-C).
+	for _, u := range []Unit{CRC32{}, &AES256{}, GZIP{}} {
+		if _, err := NewBank(env, budget, u, TargetBps); err != nil {
+			t.Fatalf("no headroom for %s: %v", u.Name(), err)
+		}
+	}
+}
+
+func TestBankRejectedWhenDeviceFull(t *testing.T) {
+	budget := fpga.NewBudget(fpga.Device{Name: "tiny", LUTs: 100, Registers: 100, BRAMs: 10})
+	env := sim.NewEnv()
+	if _, err := NewBank(env, budget, MD5{}, TargetBps); err == nil {
+		t.Fatal("bank fit in a 100-LUT device")
+	}
+}
+
+func TestBankProcessingTime(t *testing.T) {
+	budget := fpga.NewBudget(fpga.Virtex7VC707())
+	env := sim.NewEnv()
+	bank, err := NewBank(env, budget, CRC32{}, TargetBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := data(64 << 10)
+	var took sim.Time
+	var aux []byte
+	env.Spawn("proc", func(p *sim.Proc) {
+		start := p.Now()
+		_, aux, err = bank.Process(p, in)
+		took = p.Now() - start
+	})
+	env.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500*sim.Nanosecond + sim.BpsToTime(len(in), 10e9)
+	if took != want {
+		t.Fatalf("processing took %v, want %v", took, want)
+	}
+	c := crc32.ChecksumIEEE(in)
+	if aux[0] != byte(c>>24) || aux[3] != byte(c) {
+		t.Fatal("crc mismatch")
+	}
+	inv, by := bank.Stats()
+	if inv != 1 || by != int64(len(in)) {
+		t.Fatalf("stats: %d %d", inv, by)
+	}
+}
+
+func TestBankSerializesStreams(t *testing.T) {
+	budget := fpga.NewBudget(fpga.Virtex7VC707())
+	env := sim.NewEnv()
+	bank, _ := NewBank(env, budget, CRC32{}, TargetBps)
+	in := data(64 << 10)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		env.Spawn("proc", func(p *sim.Proc) {
+			bank.Process(p, in)
+			ends = append(ends, p.Now())
+		})
+	}
+	env.Run(-1)
+	if ends[1] < 2*sim.BpsToTime(len(in), 10e9) {
+		t.Fatalf("two streams did not serialize: %v", ends)
+	}
+}
+
+func TestTableIIIResourceTotals(t *testing.T) {
+	// Reconstructing the multi-instance totals the paper prints.
+	cases := []struct {
+		unit      Unit
+		wantLUTs  int
+		tolerance int
+	}{
+		{MD5{}, 8970, 11},   // 11 instances × per-instance share
+		{SHA1{}, 10760, 10}, // integer division rounding
+		{SHA256{}, 13090, 13},
+		{&AES256{}, 10689, 0},
+		{CRC32{}, 93, 0},
+		{GZIP{}, 16273, 0},
+	}
+	for _, tc := range cases {
+		n := UnitsFor(tc.unit, TargetBps)
+		got := tc.unit.PerUnitUsage().LUTs * n
+		diff := got - tc.wantLUTs
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > tc.tolerance {
+			t.Fatalf("%s: %d LUTs for 10 Gbps, want %d±%d", tc.unit.Name(), got, tc.wantLUTs, tc.tolerance)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package ndp
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"dcsctrl/internal/sim"
+)
+
+// Stream is a stateful instance of a unit processing one object chunk
+// by chunk — the form the HDC Engine uses, where a multi-chunk D2D
+// command flows through an NDP unit 64 KB at a time. Write returns
+// the output produced for the chunk; Close returns any trailing
+// output plus the auxiliary result (digest).
+type Stream interface {
+	Write(chunk []byte) ([]byte, error)
+	Close() (tail, aux []byte, err error)
+}
+
+// Streamer is a Unit that can process objects incrementally. All
+// units in this package implement it.
+type Streamer interface {
+	Unit
+	NewStream() Stream
+}
+
+// StreamChunk processes one chunk through st, charging the bank's
+// throughput model.
+func (b *Bank) StreamChunk(p *sim.Proc, st Stream, chunk []byte) ([]byte, error) {
+	p.Sleep(b.setup)
+	b.bw.Transfer(p, len(chunk))
+	out, err := st.Write(chunk)
+	if err != nil {
+		return nil, fmt.Errorf("ndp: %s stream: %w", b.unit.Name(), err)
+	}
+	b.bytes += int64(len(chunk))
+	return out, nil
+}
+
+// StreamClose finalizes st (no simulated cost beyond a setup slot).
+func (b *Bank) StreamClose(p *sim.Proc, st Stream) (tail, aux []byte, err error) {
+	p.Sleep(b.setup)
+	tail, aux, err = st.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ndp: %s close: %w", b.unit.Name(), err)
+	}
+	b.invocations++
+	return tail, aux, nil
+}
+
+// hashStream passes data through while accumulating a digest.
+type hashStream struct {
+	h     hash.Hash
+	final func(hash.Hash) []byte
+}
+
+func (s *hashStream) Write(chunk []byte) ([]byte, error) {
+	s.h.Write(chunk)
+	return chunk, nil
+}
+
+func (s *hashStream) Close() ([]byte, []byte, error) {
+	return nil, s.final(s.h), nil
+}
+
+// NewStream implements Streamer.
+func (MD5) NewStream() Stream {
+	return &hashStream{h: md5.New(), final: func(h hash.Hash) []byte { return h.Sum(nil) }}
+}
+
+// NewStream implements Streamer.
+func (SHA1) NewStream() Stream {
+	return &hashStream{h: sha1.New(), final: func(h hash.Hash) []byte { return h.Sum(nil) }}
+}
+
+// NewStream implements Streamer.
+func (SHA256) NewStream() Stream {
+	return &hashStream{h: sha256.New(), final: func(h hash.Hash) []byte { return h.Sum(nil) }}
+}
+
+// NewStream implements Streamer.
+func (CRC32) NewStream() Stream {
+	return &hashStream{h: crc32.NewIEEE(), final: func(h hash.Hash) []byte { return h.Sum(nil) }}
+}
+
+// ctrStream carries the CTR keystream position across chunks.
+type ctrStream struct {
+	s cipher.Stream
+}
+
+func (s *ctrStream) Write(chunk []byte) ([]byte, error) {
+	out := make([]byte, len(chunk))
+	s.s.XORKeyStream(out, chunk)
+	return out, nil
+}
+
+func (s *ctrStream) Close() ([]byte, []byte, error) { return nil, nil, nil }
+
+// NewStream implements Streamer.
+func (a *AES256) NewStream() Stream {
+	block, err := aes.NewCipher(a.Key[:])
+	if err != nil {
+		panic(err) // 32-byte key is correct by construction
+	}
+	return &ctrStream{s: cipher.NewCTR(block, a.IV[:])}
+}
+
+// gzipStream emits compressed bytes incrementally (Flush per chunk so
+// downstream consumers make progress).
+type gzipStream struct {
+	buf bytes.Buffer
+	w   *gzip.Writer
+}
+
+func (s *gzipStream) Write(chunk []byte) ([]byte, error) {
+	if _, err := s.w.Write(chunk); err != nil {
+		return nil, err
+	}
+	if err := s.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), s.buf.Bytes()...)
+	s.buf.Reset()
+	return out, nil
+}
+
+func (s *gzipStream) Close() ([]byte, []byte, error) {
+	if err := s.w.Close(); err != nil {
+		return nil, nil, err
+	}
+	return append([]byte(nil), s.buf.Bytes()...), nil, nil
+}
+
+// NewStream implements Streamer.
+func (GZIP) NewStream() Stream {
+	s := &gzipStream{}
+	w, err := gzip.NewWriterLevel(&s.buf, gzip.BestSpeed)
+	if err != nil {
+		panic(err)
+	}
+	s.w = w
+	return s
+}
+
+// gunzipStream buffers compressed input and decompresses at Close
+// (gzip framing cannot be finalized before the trailer arrives).
+type gunzipStream struct {
+	buf bytes.Buffer
+}
+
+func (s *gunzipStream) Write(chunk []byte) ([]byte, error) {
+	s.buf.Write(chunk)
+	return nil, nil
+}
+
+func (s *gunzipStream) Close() ([]byte, []byte, error) {
+	r, err := gzip.NewReader(&s.buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, nil, nil
+}
+
+// NewStream implements Streamer.
+func (GUNZIP) NewStream() Stream { return &gunzipStream{} }
+
+// Interface conformance checks.
+var (
+	_ Streamer = MD5{}
+	_ Streamer = SHA1{}
+	_ Streamer = SHA256{}
+	_ Streamer = CRC32{}
+	_ Streamer = (*AES256)(nil)
+	_ Streamer = GZIP{}
+	_ Streamer = GUNZIP{}
+)

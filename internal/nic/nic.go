@@ -1,0 +1,606 @@
+package nic
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+	"dcsctrl/internal/sim"
+)
+
+// Params are the NIC performance characteristics (BCM57711-class).
+type Params struct {
+	WireBps    float64  // line rate, 10 Gbit/s
+	PropDelay  sim.Time // cable + peer PHY latency
+	TxOverhead sim.Time // per-frame transmit pipeline cost
+	RxOverhead sim.Time // per-frame receive pipeline cost (per queue)
+	RxDemux    sim.Time // per-frame parse/steer cost in the shared stage
+	BDFetch    sim.Time // descriptor fetch/decode cost
+}
+
+// DefaultParams return 10-GbE defaults.
+func DefaultParams() Params {
+	return Params{
+		WireBps:    10e9,
+		PropDelay:  2 * sim.Microsecond,
+		TxOverhead: 300 * sim.Nanosecond,
+		RxOverhead: 300 * sim.Nanosecond,
+		RxDemux:    100 * sim.Nanosecond,
+		BDFetch:    150 * sim.Nanosecond,
+	}
+}
+
+// QueueConfig is one send/receive queue pair from the submitter's
+// point of view. Ring regions live in submitter memory (host DRAM for
+// the kernel driver, FPGA BRAM for the HDC Engine's NIC controller).
+type QueueConfig struct {
+	QID         uint16
+	SendRing    *mem.Region
+	SendEntries int
+	SendStatus  mem.Addr // 8-byte cumulative completed-BD counter
+	RecvRing    *mem.Region
+	RecvEntries int
+	RecvCpl     *mem.Region
+	RecvStatus  mem.Addr // 8-byte cumulative completion counter
+	MSIVector   int      // <0: no interrupts (write-hook consumers)
+	HeaderSplit bool     // split headers/payload on receive
+}
+
+// doorbell layout: 32 bytes per queue.
+const (
+	dbStride   = 32
+	dbSendTail = 0
+	dbSendArm  = 8
+	dbRecvTail = 16
+	dbRecvArm  = 24
+)
+
+type nicQueue struct {
+	cfg QueueConfig
+
+	sendTail uint64 // doorbell: BDs posted (cumulative)
+	sendHead uint64 // BDs consumed (cumulative)
+	sendKick *sim.Cond
+
+	recvTail uint64 // doorbell: recv BDs posted (cumulative)
+	recvHead uint64 // recv BDs consumed (cumulative)
+	recvCplN uint64 // completions written (cumulative)
+
+	// Armed-interrupt state: the driver arms with its acknowledged
+	// counts; the NIC fires when completions run past an ack.
+	armed   bool
+	sendAck uint64
+	recvAck uint64
+
+	txStage  mem.Addr  // per-queue gather buffer in NIC internal memory
+	scratch  mem.Addr  // per-queue descriptor/status scratch
+	recvKick *sim.Cond // receive buffers posted (un-pause)
+
+	// Per-queue receive pipeline: the demux stage steers parsed frames
+	// here; an independent queue process fills buffers and posts
+	// completions, so receive scales across queues (how multi-queue
+	// 40 GbE hardware reaches line rate).
+	rxFIFO  *sim.Queue[rxFrame]
+	rxSpace *sim.Cond // signalled when the FIFO drains below its cap
+	rxStage mem.Addr
+
+	// Outstanding receive-DMA tags: payload writes overlap (per-tag
+	// staging slots); a completer retires them in order so completion
+	// entries stay FIFO.
+	rxSlots  *sim.Queue[mem.Addr]
+	rxPend   *sim.Queue[rxPending]
+	cplStage mem.Addr
+
+	bdCache   []RecvBD  // prefetched receive descriptors
+	cplBuf    []RecvCpl // completions awaiting a coalesced flush
+	cplFirst  uint64    // cumulative index of cplBuf[0]
+	cplIssued uint64    // completions assigned an index (issue order)
+}
+
+// NIC is the device model.
+type NIC struct {
+	Name string
+
+	env    *sim.Env
+	fab    *pcie.Fabric
+	params Params
+	port   *pcie.Port
+
+	Doorbells *mem.Region
+	internal  *mem.Region
+
+	txBW    *sim.BandwidthServer
+	txFIFO  *sim.Queue[outFrame]
+	txSpace *sim.Cond // signalled when the FIFO drains below its cap
+	peer    *NIC
+	rxQ     *sim.Queue[[]byte]
+
+	queues    map[uint16]*nicQueue
+	queueList []*nicQueue // deterministic iteration order
+	steering  map[ether.Tuple]uint16
+
+	txFrames, rxFrames   int64
+	txPayload, rxPayload int64
+	drops, rxErrors      int64
+
+	// RxPerQueue counts delivered frames per queue (diagnostics).
+	RxPerQueue map[uint16]int64
+}
+
+// NewNIC builds the device on a new fabric port.
+func NewNIC(env *sim.Env, fab *pcie.Fabric, name string, params Params) *NIC {
+	n := &NIC{
+		Name:       name,
+		env:        env,
+		fab:        fab,
+		params:     params,
+		queues:     map[uint16]*nicQueue{},
+		steering:   map[ether.Tuple]uint16{},
+		RxPerQueue: map[uint16]int64{},
+	}
+	n.port = fab.AddPort(name)
+	mm := fab.Mem()
+	n.Doorbells = mm.AddRegion(name+"-doorbells", mem.MMIO, 4096, true)
+	n.internal = mm.AddRegion(name+"-internal", mem.DeviceInternal, 8<<20, false)
+	fab.Attach(n.port, n.Doorbells)
+	fab.Attach(n.port, n.internal)
+	n.rxQ = sim.NewQueue[[]byte](env, name+"-rx")
+	n.txBW = sim.NewBandwidthServer(env, name+"-wire-tx", params.WireBps, 0)
+	n.txFIFO = sim.NewQueue[outFrame](env, name+"-txfifo")
+	n.txSpace = sim.NewCond(env)
+	n.Doorbells.SetWriteHook(n.onDoorbell)
+	env.Spawn(name+"-rx", n.rxLoop)
+	env.Spawn(name+"-tx-wire", n.txWireLoop)
+	return n
+}
+
+// outFrame is a fully built frame queued for wire serialization.
+type outFrame struct {
+	frame   []byte
+	wireLen int
+	payLen  int
+}
+
+// txFIFOCap bounds the on-chip transmit FIFO (in frames); descriptor
+// processing stalls when the wire falls behind, as on real hardware.
+const txFIFOCap = 64
+
+// txWireLoop drains built frames onto the wire at line rate.
+func (n *NIC) txWireLoop(p *sim.Proc) {
+	for {
+		f := n.txFIFO.Get(p)
+		n.txSpace.Broadcast()
+		n.txBW.Transfer(p, f.wireLen)
+		n.txFrames++
+		n.txPayload += int64(f.payLen)
+		peer := n.peer
+		if peer == nil {
+			n.drops++
+			continue
+		}
+		frame := f.frame
+		n.env.Schedule(n.params.PropDelay, func() { peer.rxQ.Put(frame) })
+	}
+}
+
+// Port returns the NIC's fabric port.
+func (n *NIC) Port() *pcie.Port { return n.port }
+
+// Stats returns frame/byte/drop counters.
+func (n *NIC) Stats() (txFrames, rxFrames, txPayload, rxPayload, drops, rxErrors int64) {
+	return n.txFrames, n.rxFrames, n.txPayload, n.rxPayload, n.drops, n.rxErrors
+}
+
+// Connect wires two NICs back-to-back (the paper's two-node setup).
+func Connect(a, b *NIC) {
+	a.peer, b.peer = b, a
+}
+
+// SetSteering directs frames matching the connection tuple to a queue
+// — how receive traffic reaches the HDC Engine's dedicated queue pair
+// instead of the host driver's.
+func (n *NIC) SetSteering(t ether.Tuple, qid uint16) { n.steering[t] = qid }
+
+// ClearSteering removes a steering rule.
+func (n *NIC) ClearSteering(t ether.Tuple) { delete(n.steering, t) }
+
+// ConfigureQueue registers a queue pair and starts its transmit
+// process (configuration-time operation, no simulated cost).
+func (n *NIC) ConfigureQueue(cfg QueueConfig) {
+	if _, dup := n.queues[cfg.QID]; dup {
+		panic(fmt.Sprintf("nic: queue %d exists on %s", cfg.QID, n.Name))
+	}
+	if cfg.SendEntries < 2 || cfg.RecvEntries < 2 {
+		panic("nic: queue too small")
+	}
+	if cfg.SendRing.Size < uint64(cfg.SendEntries*SendBDSize) ||
+		cfg.RecvRing.Size < uint64(cfg.RecvEntries*RecvBDSize) ||
+		cfg.RecvCpl.Size < uint64(cfg.RecvEntries*RecvCplSize) {
+		panic("nic: ring region too small")
+	}
+	q := &nicQueue{
+		cfg:      cfg,
+		sendKick: sim.NewCond(n.env),
+		recvKick: sim.NewCond(n.env),
+		txStage:  n.internal.Alloc(128<<10, 4096),
+		scratch:  n.internal.Alloc(256, 64),
+		rxFIFO:   sim.NewQueue[rxFrame](n.env, fmt.Sprintf("%s-rxq%d", n.Name, cfg.QID)),
+		rxSpace:  sim.NewCond(n.env),
+		rxStage:  n.internal.Alloc(4<<10, 64),
+		rxSlots:  sim.NewQueue[mem.Addr](n.env, fmt.Sprintf("%s-rxslots%d", n.Name, cfg.QID)),
+		rxPend:   sim.NewQueue[rxPending](n.env, fmt.Sprintf("%s-rxpend%d", n.Name, cfg.QID)),
+		cplStage: n.internal.Alloc(4<<10, 64),
+	}
+	for i := 0; i < rxDMATags; i++ {
+		q.rxSlots.Put(n.internal.Alloc(2048, 64))
+	}
+	n.queues[cfg.QID] = q
+	n.queueList = append(n.queueList, q)
+	n.env.Spawn(fmt.Sprintf("%s-tx-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.txLoop(p, q) })
+	n.env.Spawn(fmt.Sprintf("%s-rx-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.rxQueueLoop(p, q) })
+	n.env.Spawn(fmt.Sprintf("%s-rxcpl-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.rxCplLoop(p, q) })
+}
+
+// DoorbellAddrs returns the four doorbell addresses for a queue.
+func (n *NIC) DoorbellAddrs(qid uint16) (sendTail, sendArm, recvTail, recvArm mem.Addr) {
+	base := n.Doorbells.Base + mem.Addr(uint64(qid)*dbStride)
+	return base + dbSendTail, base + dbSendArm, base + dbRecvTail, base + dbRecvArm
+}
+
+func (n *NIC) onDoorbell(off uint64, _ int) {
+	qid := uint16(off / dbStride)
+	q, ok := n.queues[qid]
+	if !ok {
+		panic(fmt.Sprintf("nic: doorbell for unknown queue %d on %s", qid, n.Name))
+	}
+	val := le64(n.Doorbells.Bytes(off, 8))
+	switch off % dbStride {
+	case dbSendTail:
+		q.sendTail = val
+		q.sendKick.Broadcast()
+	case dbSendArm:
+		q.sendAck = val
+		q.armed = true
+		n.maybeIRQ(q)
+	case dbRecvTail:
+		q.recvTail = val
+		q.recvKick.Broadcast()
+	case dbRecvArm:
+		q.recvAck = val
+		q.armed = true
+		n.maybeIRQ(q)
+	}
+}
+
+// maybeIRQ raises the queue's MSI when armed and completions have run
+// past the driver's acknowledged counts, then disarms (NAPI-style:
+// the driver re-arms with fresh acks after draining).
+func (n *NIC) maybeIRQ(q *nicQueue) {
+	if q.cfg.MSIVector < 0 || !q.armed {
+		return
+	}
+	if q.sendHead > q.sendAck || q.recvCplN > q.recvAck {
+		q.armed = false
+		n.fab.RaiseMSI(q.cfg.MSIVector)
+	}
+}
+
+// txLoop consumes send BD chains, gathers buffers, applies LSO and
+// checksum offload, and serializes frames onto the wire.
+func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
+	mm := n.fab.Mem()
+	for {
+		for q.sendHead == q.sendTail {
+			q.sendKick.Wait(p)
+		}
+		// Collect one packet chain (BDs up to and including END).
+		var chain []SendBD
+		head := q.sendHead
+		for {
+			if head == q.sendTail {
+				// Incomplete chain posted; wait for the rest.
+				q.sendKick.Wait(p)
+				continue
+			}
+			slot := head % uint64(q.cfg.SendEntries)
+			bdAddr := q.cfg.SendRing.Base + mem.Addr(slot*SendBDSize)
+			n.fab.MustDMA(p, n.port, q.scratch, bdAddr, SendBDSize)
+			p.Sleep(n.params.BDFetch)
+			bd, err := DecodeSendBD(mm.Read(q.scratch, SendBDSize))
+			if err != nil {
+				panic(err) // corrupted ring memory is a modelling bug
+			}
+			chain = append(chain, bd)
+			head++
+			if bd.Flags&SendFlagEnd != 0 {
+				break
+			}
+			if len(chain) > 64 {
+				panic("nic: runaway BD chain without END flag")
+			}
+		}
+
+		// Gather the chain into the queue's staging buffer.
+		off := 0
+		for _, bd := range chain {
+			if off+int(bd.Len) > 128<<10 {
+				panic("nic: send chain exceeds staging buffer")
+			}
+			n.fab.MustDMA(p, n.port, q.txStage+mem.Addr(off), bd.Addr, int(bd.Len))
+			off += int(bd.Len)
+		}
+		raw := mm.Read(q.txStage, off)
+		n.transmit(p, q, chain[0], raw)
+
+		q.sendHead = head
+		// BD completion: buffers were fully fetched into the FIFO, so
+		// the submitter may reuse them (wire transmission proceeds
+		// asynchronously, as on real hardware).
+		var cnt [8]byte
+		putLE64(cnt[:], q.sendHead)
+		mm.Write(q.scratch, cnt[:])
+		n.fab.MustDMA(p, n.port, q.cfg.SendStatus, q.scratch, 8)
+		n.maybeIRQ(q)
+	}
+}
+
+// transmit parses the header template, segments, and puts real frames
+// on the wire.
+func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
+	if len(raw) < ether.HeadersLen {
+		n.drops++
+		return
+	}
+	proto, err := ether.ParseHeaders(raw[:ether.HeadersLen])
+	if err != nil {
+		n.drops++
+		return
+	}
+	payload := raw[ether.HeadersLen:]
+	var segs []ether.Segment
+	if first.Flags&SendFlagLSO != 0 {
+		segs = ether.Segmentize(proto.Flow, proto.Seq, payload, int(first.MSS))
+	} else {
+		if len(payload) > ether.MSS {
+			n.drops++
+			return
+		}
+		segs = []ether.Segment{{Flow: proto.Flow, Seq: proto.Seq, Ack: proto.Ack,
+			Flags: proto.Flags | ether.FlagACK, Payload: append([]byte(nil), payload...)}}
+	}
+	for i := range segs {
+		for n.txFIFO.Len() >= txFIFOCap {
+			n.txSpace.Wait(p)
+		}
+		// Per-frame pipeline cost overlaps wire serialization: it is
+		// paid here, in the build stage, not on the wire.
+		p.Sleep(n.params.TxOverhead)
+		frame := segs[i].Marshal() // checksum offload happens here
+		n.txFIFO.Put(outFrame{frame: frame, wireLen: segs[i].WireLen(), payLen: len(segs[i].Payload)})
+	}
+}
+
+// rxBatch is the receive-side coalescing factor: descriptors are
+// prefetched and completions flushed in batches of up to this many,
+// as real NICs do to amortize DMA transactions.
+const rxBatch = 16
+
+// fetchRecvBDs refills the queue's descriptor cache with one batched
+// DMA (contiguous ring slots).
+func (n *NIC) fetchRecvBDs(p *sim.Proc, q *nicQueue) {
+	avail := int(q.recvTail - q.recvHead)
+	if avail == 0 {
+		return
+	}
+	batch := avail
+	if batch > rxBatch {
+		batch = rxBatch
+	}
+	slot := q.recvHead % uint64(q.cfg.RecvEntries)
+	if room := q.cfg.RecvEntries - int(slot); batch > room {
+		batch = room // stop at the ring wrap
+	}
+	bdAddr := q.cfg.RecvRing.Base + mem.Addr(slot*RecvBDSize)
+	n.fab.MustDMA(p, n.port, q.rxStage, bdAddr, batch*RecvBDSize)
+	p.Sleep(n.params.BDFetch)
+	raw := n.fab.Mem().Read(q.rxStage, batch*RecvBDSize)
+	for i := 0; i < batch; i++ {
+		bd, err := DecodeRecvBD(raw[i*RecvBDSize:])
+		if err != nil {
+			panic(err)
+		}
+		q.bdCache = append(q.bdCache, bd)
+	}
+	q.recvHead += uint64(batch)
+}
+
+// flushCompletions writes pending completion entries and the status
+// counter in batched DMAs, then fires the (armed) interrupt.
+func (n *NIC) flushCompletions(p *sim.Proc, q *nicQueue) {
+	if len(q.cplBuf) == 0 {
+		return
+	}
+	mm := n.fab.Mem()
+	i := 0
+	idx := q.cplFirst
+	for i < len(q.cplBuf) {
+		slot := idx % uint64(q.cfg.RecvEntries)
+		run := len(q.cplBuf) - i
+		if room := q.cfg.RecvEntries - int(slot); run > room {
+			run = room
+		}
+		buf := make([]byte, run*RecvCplSize)
+		for j := 0; j < run; j++ {
+			enc := q.cplBuf[i+j].Encode()
+			copy(buf[j*RecvCplSize:], enc[:])
+		}
+		mm.Write(q.cplStage, buf)
+		n.fab.MustDMA(p, n.port, q.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), q.cplStage, len(buf))
+		i += run
+		idx += uint64(run)
+	}
+	q.recvCplN = idx
+	q.cplBuf = q.cplBuf[:0]
+	q.cplFirst = idx
+	var cnt [8]byte
+	putLE64(cnt[:], q.recvCplN)
+	mm.Write(q.cplStage, cnt[:])
+	n.fab.MustDMA(p, n.port, q.cfg.RecvStatus, q.cplStage, 8)
+	n.maybeIRQ(q)
+}
+
+// rxFrame is one parsed frame handed from the demux stage to a
+// queue's receive pipeline.
+type rxFrame struct {
+	frame []byte
+	seg   ether.Segment
+}
+
+// rxQueueCap bounds each queue's staging FIFO; a full FIFO
+// backpressures the demux stage (port-level pause).
+const rxQueueCap = 128
+
+// rxDMATags is the number of concurrently outstanding receive payload
+// DMAs per queue (hides per-transaction fabric latency).
+const rxDMATags = 16
+
+// rxPending is one in-flight receive DMA awaiting in-order retirement.
+type rxPending struct {
+	cpl  RecvCpl
+	sig  *sim.Signal
+	slot mem.Addr
+	pay  int
+}
+
+// rxLoop is the shared demux stage: verify, parse, steer. Heavy
+// per-frame work (descriptor fetch, payload DMA, completions) happens
+// in per-queue pipelines so receive throughput scales with queues.
+func (n *NIC) rxLoop(p *sim.Proc) {
+	for {
+		frame := n.rxQ.Get(p)
+		p.Sleep(n.params.RxDemux)
+		seg, err := ether.Parse(frame)
+		if err != nil {
+			n.rxErrors++
+			continue
+		}
+		qid, ok := n.steering[seg.Flow.Tuple()]
+		if !ok {
+			qid = 0
+		}
+		q, exists := n.queues[qid]
+		if !exists {
+			n.drops++
+			continue
+		}
+		for q.rxFIFO.Len() >= rxQueueCap {
+			q.rxSpace.Wait(p)
+		}
+		q.rxFIFO.Put(rxFrame{frame: frame, seg: seg})
+	}
+}
+
+// rxQueueLoop is one queue's receive pipeline: it takes parsed frames,
+// fills posted buffers (pausing, PFC-style, while none are posted),
+// and writes coalesced completions.
+func (n *NIC) rxQueueLoop(p *sim.Proc, q *nicQueue) {
+	mm := n.fab.Mem()
+	for {
+		rf := q.rxFIFO.Get(p)
+		q.rxSpace.Broadcast()
+		p.Sleep(n.params.RxOverhead)
+		seg := rf.seg
+		// Per-queue (priority) flow control: with no posted buffer the
+		// queue pauses until the consumer recycles some. In-flight DMAs
+		// retire meanwhile and the completer flushes them, so the
+		// consumer always sees enough completions to make progress.
+		for len(q.bdCache) == 0 {
+			n.fetchRecvBDs(p, q)
+			if len(q.bdCache) > 0 {
+				break
+			}
+			q.recvKick.Wait(p)
+		}
+		bd := q.bdCache[0]
+		q.bdCache = q.bdCache[1:]
+		bdIndex := uint32(q.cplIssued % uint64(q.cfg.RecvEntries))
+
+		hdr := rf.frame[:ether.HeadersLen]
+		pay := seg.Payload
+		cpl := RecvCpl{BDIndex: bdIndex, Seq: seg.Seq, Flags: seg.Flags, Valid: 1,
+			HdrLen: uint16(len(hdr)), PayLen: uint16(len(pay))}
+
+		// Issue the payload DMA on a free tag; retirement happens in
+		// order in the completer so completion entries stay FIFO.
+		slot := q.rxSlots.Get(p)
+		var sig *sim.Signal
+		if q.cfg.HeaderSplit {
+			// Header at offset 0, payload at HdrOff, moved as one DMA.
+			if int(bd.Len) < HdrOff+len(pay) {
+				n.drops++
+				q.rxSlots.Put(slot)
+				continue
+			}
+			mm.Write(slot, make([]byte, HdrOff))
+			mm.Write(slot, hdr)
+			if len(pay) > 0 {
+				mm.Write(slot+HdrOff, pay)
+			}
+			sig = n.fab.DMAAsync(n.port, bd.Addr, slot, HdrOff+len(pay))
+		} else {
+			if int(bd.Len) < len(rf.frame) {
+				n.drops++
+				q.rxSlots.Put(slot)
+				continue
+			}
+			mm.Write(slot, rf.frame)
+			sig = n.fab.DMAAsync(n.port, bd.Addr, slot, len(rf.frame))
+		}
+		q.cplIssued++
+		q.rxPend.Put(rxPending{cpl: cpl, sig: sig, slot: slot, pay: len(pay)})
+	}
+}
+
+// rxCplLoop retires receive DMAs in order, recycles tag slots, and
+// writes coalesced completion entries.
+func (n *NIC) rxCplLoop(p *sim.Proc, q *nicQueue) {
+	for {
+		pend := q.rxPend.Get(p)
+		pend.sig.Wait(p)
+		q.rxSlots.Put(pend.slot)
+		n.rxFrames++
+		n.rxPayload += int64(pend.pay)
+		n.RxPerQueue[q.cfg.QID]++
+		q.cplBuf = append(q.cplBuf, pend.cpl)
+		// Flush when the batch fills or no more DMAs are in flight
+		// (the queue may be paused waiting for these completions).
+		if len(q.cplBuf) >= rxBatch || q.rxPend.Len() == 0 {
+			n.flushCompletions(p, q)
+		}
+	}
+}
+
+// DebugQueues reports per-queue ring state (diagnostics).
+func (n *NIC) DebugQueues() string {
+	out := fmt.Sprintf("%s: rxQ=%d txFIFO=%d", n.Name, n.rxQ.Len(), n.txFIFO.Len())
+	for _, q := range n.queueList {
+		out += fmt.Sprintf("\n  q%d: sendTail=%d sendHead=%d recvTail=%d recvHead=%d bdCache=%d cplBuf=%d cplN=%d rxFIFO=%d armed=%v",
+			q.cfg.QID, q.sendTail, q.sendHead, q.recvTail, q.recvHead, len(q.bdCache), len(q.cplBuf), q.recvCplN, q.rxFIFO.Len(), q.armed)
+	}
+	return out
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,158 @@
+package nic
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+)
+
+// SendRing is the submitter side of a transmit queue: it formats BDs
+// into ring memory and rings doorbells. Both the host NIC driver and
+// the HDC Engine's NIC controller drive one of these; they differ in
+// whose cycles pay for it.
+type SendRing struct {
+	fab  *pcie.Fabric
+	nic  *NIC
+	cfg  QueueConfig
+	tail uint64
+}
+
+// NewSendRing returns a send ring over the queue.
+func NewSendRing(fab *pcie.Fabric, n *NIC, cfg QueueConfig) *SendRing {
+	return &SendRing{fab: fab, nic: n, cfg: cfg}
+}
+
+// Completed reads the cumulative completed-BD counter (submitter-local
+// memory read).
+func (r *SendRing) Completed() uint64 {
+	return le64(r.fab.Mem().Read(r.cfg.SendStatus, 8))
+}
+
+// FreeSlots returns the number of BD slots currently available.
+func (r *SendRing) FreeSlots() int {
+	return r.cfg.SendEntries - int(r.tail-r.Completed())
+}
+
+// Push writes a packet chain into the ring. The final BD must carry
+// SendFlagEnd. The caller must ring the doorbell afterwards.
+func (r *SendRing) Push(bds []SendBD) error {
+	if len(bds) == 0 {
+		return fmt.Errorf("nic: empty BD chain")
+	}
+	if bds[len(bds)-1].Flags&SendFlagEnd == 0 {
+		return fmt.Errorf("nic: chain missing END flag")
+	}
+	if r.FreeSlots() < len(bds) {
+		return fmt.Errorf("nic: send ring %d full", r.cfg.QID)
+	}
+	for _, bd := range bds {
+		slot := r.tail % uint64(r.cfg.SendEntries)
+		enc := bd.Encode()
+		r.cfg.SendRing.WriteAt(slot*SendBDSize, enc[:])
+		r.tail++
+	}
+	return nil
+}
+
+// RingDoorbell posts the new tail to the NIC.
+func (r *SendRing) RingDoorbell() {
+	sendTail, _, _, _ := r.nic.DoorbellAddrs(r.cfg.QID)
+	r.fab.PostedWrite(sendTail, r.tail)
+}
+
+// Arm acknowledges the completions seen so far and requests an
+// interrupt as soon as the completed-BD counter passes them.
+func (r *SendRing) Arm() {
+	_, sendArm, _, _ := r.nic.DoorbellAddrs(r.cfg.QID)
+	r.fab.PostedWrite(sendArm, r.Completed())
+}
+
+// Tail returns the cumulative posted-BD count.
+func (r *SendRing) Tail() uint64 { return r.tail }
+
+// RecvRing is the submitter side of a receive queue: it posts buffers
+// and consumes completions.
+type RecvRing struct {
+	fab     *pcie.Fabric
+	nic     *NIC
+	cfg     QueueConfig
+	tail    uint64 // buffers posted (cumulative)
+	cplHead uint64 // completions consumed (cumulative)
+	addrs   []mem.Addr
+}
+
+// NewRecvRing returns a receive ring over the queue.
+func NewRecvRing(fab *pcie.Fabric, n *NIC, cfg QueueConfig) *RecvRing {
+	return &RecvRing{fab: fab, nic: n, cfg: cfg, addrs: make([]mem.Addr, cfg.RecvEntries)}
+}
+
+// Post writes receive BDs into the ring. The caller must ring the
+// doorbell afterwards.
+func (r *RecvRing) Post(bds []RecvBD) error {
+	if int(r.tail-r.cplHead)+len(bds) > r.cfg.RecvEntries {
+		return fmt.Errorf("nic: recv ring %d overcommitted", r.cfg.QID)
+	}
+	for _, bd := range bds {
+		slot := r.tail % uint64(r.cfg.RecvEntries)
+		enc := bd.Encode()
+		r.cfg.RecvRing.WriteAt(slot*RecvBDSize, enc[:])
+		r.addrs[slot] = bd.Addr
+		r.tail++
+	}
+	return nil
+}
+
+// RingDoorbell posts the new recv tail to the NIC.
+func (r *RecvRing) RingDoorbell() {
+	_, _, recvTail, _ := r.nic.DoorbellAddrs(r.cfg.QID)
+	r.fab.PostedWrite(recvTail, r.tail)
+}
+
+// Arm acknowledges the completions consumed so far and requests an
+// interrupt as soon as new ones land.
+func (r *RecvRing) Arm() {
+	_, _, _, recvArm := r.nic.DoorbellAddrs(r.cfg.QID)
+	r.fab.PostedWrite(recvArm, r.cplHead)
+}
+
+// Completions reads the cumulative completion counter.
+func (r *RecvRing) Completions() uint64 {
+	return le64(r.fab.Mem().Read(r.cfg.RecvStatus, 8))
+}
+
+// Outstanding returns posted-but-unfilled buffer count as seen by the
+// device (completion counter).
+func (r *RecvRing) Outstanding() int { return int(r.tail - r.Completions()) }
+
+// Unconsumed returns posted-minus-locally-consumed buffers — the bound
+// Post enforces; use it when deciding how many buffers to repost.
+func (r *RecvRing) Unconsumed() int { return int(r.tail - r.cplHead) }
+
+// Filled is one consumed receive completion plus the buffer address
+// it refers to.
+type Filled struct {
+	Cpl  RecvCpl
+	Addr mem.Addr
+}
+
+// Poll consumes all available completions (submitter-local memory
+// reads) and returns them with their buffer addresses resolved.
+func (r *RecvRing) Poll() []Filled {
+	avail := r.Completions()
+	var out []Filled
+	for r.cplHead < avail {
+		slot := r.cplHead % uint64(r.cfg.RecvEntries)
+		raw := r.fab.Mem().Read(r.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), RecvCplSize)
+		cpl, err := DecodeRecvCpl(raw)
+		if err != nil {
+			panic(err)
+		}
+		if cpl.Valid == 0 {
+			panic(fmt.Sprintf("nic: completion %d not valid on queue %d", r.cplHead, r.cfg.QID))
+		}
+		out = append(out, Filled{Cpl: cpl, Addr: r.addrs[cpl.BDIndex]})
+		r.cplHead++
+	}
+	return out
+}

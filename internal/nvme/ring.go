@@ -1,0 +1,123 @@
+package nvme
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+)
+
+// RingConfig describes one submission/completion queue pair from the
+// submitter's point of view. SQ and CQ are regions owned by the
+// submitter (host DRAM for the kernel driver, FPGA BRAM for the HDC
+// Engine's NVMe controller); the doorbells live in the SSD's BAR.
+type RingConfig struct {
+	QID        uint16
+	Entries    int
+	SQ         *mem.Region
+	CQ         *mem.Region
+	SQDoorbell mem.Addr
+	CQDoorbell mem.Addr
+}
+
+// Ring is the submitter side of a queue pair: it formats SQEs into
+// queue memory, rings doorbells, and consumes CQEs by phase bit,
+// dispatching each to the callback registered at submit time.
+type Ring struct {
+	cfg     RingConfig
+	fab     *pcie.Fabric
+	sqTail  int
+	cqHead  int
+	phase   bool
+	nextCID uint16
+	pending map[uint16]func(Completion)
+}
+
+// NewRing returns a ring over cfg. The queue regions must hold
+// Entries SQEs and CQEs respectively.
+func NewRing(fab *pcie.Fabric, cfg RingConfig) *Ring {
+	if cfg.Entries < 2 {
+		panic(fmt.Sprintf("nvme: ring %d too small (%d entries)", cfg.QID, cfg.Entries))
+	}
+	if cfg.SQ.Size < uint64(cfg.Entries*CommandSize) {
+		panic(fmt.Sprintf("nvme: SQ region %s too small", cfg.SQ.Name))
+	}
+	if cfg.CQ.Size < uint64(cfg.Entries*CompletionSize) {
+		panic(fmt.Sprintf("nvme: CQ region %s too small", cfg.CQ.Name))
+	}
+	return &Ring{cfg: cfg, fab: fab, phase: true, pending: map[uint16]func(Completion){}}
+}
+
+// Config returns the ring configuration.
+func (r *Ring) Config() RingConfig { return r.cfg }
+
+// Outstanding returns the number of commands submitted but not yet
+// completed.
+func (r *Ring) Outstanding() int { return len(r.pending) }
+
+// Full reports whether the submission queue has no free slot (one
+// slot is sacrificed to distinguish full from empty, per spec).
+func (r *Ring) Full() bool { return len(r.pending) >= r.cfg.Entries-1 }
+
+// Submit writes cmd into the next SQE slot and registers onDone for
+// its completion. It returns the assigned CID. The caller must ring
+// the doorbell (possibly batching several submissions per ring).
+func (r *Ring) Submit(cmd Command, onDone func(Completion)) (uint16, error) {
+	if r.Full() {
+		return 0, fmt.Errorf("nvme: SQ %d full", r.cfg.QID)
+	}
+	cid := r.nextCID
+	r.nextCID++
+	for {
+		if _, busy := r.pending[cid]; !busy {
+			break
+		}
+		cid = r.nextCID
+		r.nextCID++
+	}
+	cmd.CID = cid
+	sqe := cmd.Encode()
+	r.cfg.SQ.WriteAt(uint64(r.sqTail)*CommandSize, sqe[:])
+	r.sqTail = (r.sqTail + 1) % r.cfg.Entries
+	r.pending[cid] = onDone
+	return cid, nil
+}
+
+// RingDoorbell posts the current SQ tail to the device.
+func (r *Ring) RingDoorbell() {
+	r.fab.PostedWrite(r.cfg.SQDoorbell, uint64(r.sqTail))
+}
+
+// ProcessCompletions consumes every CQE whose phase bit matches the
+// expected phase, invokes the registered callbacks, advances the CQ
+// head, and rings the CQ head doorbell. It returns the number of
+// completions consumed. Safe to call from a write hook or IRQ path.
+func (r *Ring) ProcessCompletions() int {
+	n := 0
+	for {
+		raw := make([]byte, CompletionSize)
+		r.cfg.CQ.ReadAt(uint64(r.cqHead)*CompletionSize, raw)
+		cpl, err := DecodeCompletion(raw)
+		if err != nil || cpl.Phase != r.phase {
+			break
+		}
+		cb, ok := r.pending[cpl.CID]
+		if !ok {
+			panic(fmt.Sprintf("nvme: completion for unknown CID %d on ring %d", cpl.CID, r.cfg.QID))
+		}
+		delete(r.pending, cpl.CID)
+		r.cqHead++
+		if r.cqHead == r.cfg.Entries {
+			r.cqHead = 0
+			r.phase = !r.phase
+		}
+		n++
+		if cb != nil {
+			cb(cpl)
+		}
+	}
+	if n > 0 {
+		r.fab.PostedWrite(r.cfg.CQDoorbell, uint64(r.cqHead))
+	}
+	return n
+}

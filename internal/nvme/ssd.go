@@ -1,0 +1,320 @@
+package nvme
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+	"dcsctrl/internal/sim"
+)
+
+// Params are the SSD performance characteristics, defaulting to the
+// Intel 750 400 GB of Table V.
+type Params struct {
+	ReadLatency  sim.Time // media access latency per read command
+	WriteLatency sim.Time // media program latency per write command
+	ReadBps      float64  // internal read bandwidth (17.2 Gbps)
+	WriteBps     float64  // internal write bandwidth (7.2 Gbps)
+	Channels     int      // concurrently executing commands
+	CmdDecode    sim.Time // on-device command decode/setup
+}
+
+// DefaultParams return the Intel 750-calibrated values.
+func DefaultParams() Params {
+	return Params{
+		ReadLatency:  20 * sim.Microsecond,
+		WriteLatency: 20 * sim.Microsecond,
+		ReadBps:      17.2e9,
+		WriteBps:     7.2e9,
+		Channels:     4,
+		CmdDecode:    500 * sim.Nanosecond,
+	}
+}
+
+// doorbell register layout inside the SSD BAR: 32 bytes per queue
+// pair, SQ tail at +0 and CQ head at +16.
+const dbStride = 32
+
+// SSD is the NVMe device model: it owns a doorbell BAR and an
+// internal (non-P2P-addressable) staging buffer, fetches SQEs by DMA,
+// executes them against a flash backend holding real block contents,
+// moves data to/from PRP pages by DMA, posts CQEs, and optionally
+// raises MSI.
+type SSD struct {
+	Name string
+
+	env    *sim.Env
+	fab    *pcie.Fabric
+	params Params
+	port   *pcie.Port
+
+	Doorbells *mem.Region
+	staging   *mem.Region
+	slotQ     *sim.Queue[mem.Addr] // free 64 KB staging slots
+
+	readBW  *sim.BandwidthServer
+	writeBW *sim.BandwidthServer
+	exec    *sim.Resource // concurrent command execution (channels)
+
+	flash map[uint64][]byte
+	qps   map[uint16]*devQP
+
+	cmdsDone int64
+	bytesRd  int64
+	bytesWr  int64
+}
+
+type devQP struct {
+	cfg       RingConfig
+	msiVector int
+	sqHead    int
+	dbTail    int // last SQ tail doorbell value
+	cqTail    int
+	phase     bool
+	cqHeadSee int           // last CQ head doorbell value
+	sqKick    *sim.Cond     // SQ tail doorbell arrived
+	cqKick    *sim.Cond     // CQ head doorbell arrived
+	sqeBuf    mem.Addr      // per-QP staging for fetched SQEs
+	cqeBuf    mem.Addr      // per-QP staging for posted CQEs
+	cqLock    *sim.Resource // serializes CQE posting per queue
+}
+
+// NewSSD builds the device, allocating its BAR and staging regions and
+// attaching them to a new fabric port.
+func NewSSD(env *sim.Env, fab *pcie.Fabric, name string, params Params) *SSD {
+	s := &SSD{
+		Name:   name,
+		env:    env,
+		fab:    fab,
+		params: params,
+		flash:  map[uint64][]byte{},
+		qps:    map[uint16]*devQP{},
+	}
+	s.port = fab.AddPort(name)
+	mm := fab.Mem()
+	s.Doorbells = mm.AddRegion(name+"-doorbells", mem.MMIO, 4096, true)
+	s.staging = mm.AddRegion(name+"-staging", mem.DeviceInternal, 16<<20, false)
+	fab.Attach(s.port, s.Doorbells)
+	fab.Attach(s.port, s.staging)
+
+	nSlots := params.Channels * 4
+	s.slotQ = sim.NewQueue[mem.Addr](env, name+"-slots")
+	for i := 0; i < nSlots; i++ {
+		s.slotQ.Put(s.staging.Alloc(64<<10, 4096))
+	}
+	s.readBW = sim.NewBandwidthServer(env, name+"-flash-rd", params.ReadBps, 0)
+	s.writeBW = sim.NewBandwidthServer(env, name+"-flash-wr", params.WriteBps, 0)
+	s.exec = sim.NewResource(env, name+"-exec", params.Channels)
+
+	s.Doorbells.SetWriteHook(s.onDoorbell)
+	return s
+}
+
+// Port returns the SSD's fabric port.
+func (s *SSD) Port() *pcie.Port { return s.port }
+
+// Stats returns commands completed and bytes read/written.
+func (s *SSD) Stats() (cmds, bytesRead, bytesWritten int64) {
+	return s.cmdsDone, s.bytesRd, s.bytesWr
+}
+
+// CreateQueuePair registers a queue pair (the admin-queue step of a
+// real device, performed at configuration time). msiVector < 0 means
+// no interrupt: the submitter detects completions by CQ memory write
+// (the HDC Engine mode).
+func (s *SSD) CreateQueuePair(cfg RingConfig, msiVector int) {
+	if _, dup := s.qps[cfg.QID]; dup {
+		panic(fmt.Sprintf("nvme: QP %d exists on %s", cfg.QID, s.Name))
+	}
+	qp := &devQP{
+		cfg:       cfg,
+		msiVector: msiVector,
+		phase:     true,
+		sqKick:    sim.NewCond(s.env),
+		cqKick:    sim.NewCond(s.env),
+		sqeBuf:    s.staging.Alloc(CommandSize, 64),
+		cqeBuf:    s.staging.Alloc(CompletionSize, 64),
+		cqLock:    sim.NewResource(s.env, fmt.Sprintf("%s-qp%d-cq", s.Name, cfg.QID), 1),
+	}
+	s.qps[cfg.QID] = qp
+	s.env.Spawn(fmt.Sprintf("%s-qp%d", s.Name, cfg.QID), func(p *sim.Proc) { s.qpLoop(p, qp) })
+}
+
+// DoorbellAddrs returns the SQ-tail and CQ-head doorbell addresses for
+// a queue pair ID.
+func (s *SSD) DoorbellAddrs(qid uint16) (sq, cq mem.Addr) {
+	base := s.Doorbells.Base + mem.Addr(uint64(qid)*dbStride)
+	return base, base + 16
+}
+
+func (s *SSD) onDoorbell(off uint64, n int) {
+	qid := uint16(off / dbStride)
+	qp, ok := s.qps[qid]
+	if !ok {
+		panic(fmt.Sprintf("nvme: doorbell for unknown QP %d on %s", qid, s.Name))
+	}
+	val := int(le64(s.Doorbells.Bytes(off, 8)))
+	if off%dbStride == 0 {
+		qp.dbTail = val
+		qp.sqKick.Broadcast()
+	} else {
+		qp.cqHeadSee = val
+		qp.cqKick.Broadcast()
+	}
+}
+
+func (s *SSD) qpLoop(p *sim.Proc, qp *devQP) {
+	for {
+		for qp.sqHead == qp.dbTail {
+			qp.sqKick.Wait(p)
+		}
+		// Fetch the SQE by DMA into the QP's staging scratch.
+		sqeAddr := qp.cfg.SQ.Base + mem.Addr(uint64(qp.sqHead)*CommandSize)
+		s.fab.MustDMA(p, s.port, qp.sqeBuf, sqeAddr, CommandSize)
+		cmd, err := DecodeCommand(s.fab.Mem().Read(qp.sqeBuf, CommandSize))
+		sqHead := (qp.sqHead + 1) % qp.cfg.Entries
+		qp.sqHead = sqHead
+		if err != nil {
+			s.complete(p, qp, Completion{CID: cmd.CID, SQHead: uint16(sqHead), SQID: qp.cfg.QID, Status: StatusInternalErr})
+			continue
+		}
+		p.Sleep(s.params.CmdDecode)
+		// Execute concurrently up to the channel count; completions may
+		// land out of order, which the CID matching absorbs.
+		cmdCopy := cmd
+		s.env.Spawn(fmt.Sprintf("%s-exec-cid%d", s.Name, cmd.CID), func(ep *sim.Proc) {
+			s.exec.Acquire(ep)
+			status := s.execute(ep, cmdCopy)
+			s.exec.Release()
+			s.complete(ep, qp, Completion{CID: cmdCopy.CID, SQHead: uint16(sqHead), SQID: qp.cfg.QID, Status: status})
+		})
+	}
+}
+
+func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
+	switch cmd.Opcode {
+	case OpFlush:
+		p.Sleep(s.params.WriteLatency)
+		return StatusSuccess
+	case OpRead, OpWrite:
+	default:
+		return StatusInvalidOp
+	}
+	if cmd.Blocks() > MaxBlocksPerCmd {
+		return StatusInvalidPRP
+	}
+	pages, err := DataPages(s.fab.Mem(), cmd)
+	if err != nil {
+		return StatusInvalidPRP
+	}
+	slot := s.slotQ.Get(p)
+	defer s.slotQ.Put(slot)
+	n := cmd.Bytes()
+
+	if cmd.Opcode == OpRead {
+		// Media access: latency once, bandwidth for the span.
+		p.Sleep(s.params.ReadLatency)
+		s.readBW.Transfer(p, n)
+		for i := 0; i < cmd.Blocks(); i++ {
+			s.fab.Mem().Write(slot+mem.Addr(i*BlockSize), s.readBlock(cmd.SLBA+uint64(i)))
+		}
+		if err := s.dmaPages(p, pages, slot, true); err != nil {
+			return StatusInvalidPRP
+		}
+		s.bytesRd += int64(n)
+	} else {
+		if err := s.dmaPages(p, pages, slot, false); err != nil {
+			return StatusInvalidPRP
+		}
+		p.Sleep(s.params.WriteLatency)
+		s.writeBW.Transfer(p, n)
+		for i := 0; i < cmd.Blocks(); i++ {
+			s.flash[cmd.SLBA+uint64(i)] = s.fab.Mem().Read(slot+mem.Addr(i*BlockSize), BlockSize)
+		}
+		s.bytesWr += int64(n)
+	}
+	s.cmdsDone++
+	return StatusSuccess
+}
+
+// dmaPages moves data between the staging slot and the PRP pages,
+// coalescing physically contiguous pages into single DMA bursts.
+// toPages=true moves staging->pages (read command).
+func (s *SSD) dmaPages(p *sim.Proc, pages []mem.Addr, slot mem.Addr, toPages bool) error {
+	i := 0
+	off := 0
+	for i < len(pages) {
+		j := i + 1
+		for j < len(pages) && pages[j] == pages[j-1]+BlockSize {
+			j++
+		}
+		n := (j - i) * BlockSize
+		var err error
+		if toPages {
+			err = s.fab.DMA(p, s.port, pages[i], slot+mem.Addr(off), n)
+		} else {
+			err = s.fab.DMA(p, s.port, slot+mem.Addr(off), pages[i], n)
+		}
+		if err != nil {
+			return err
+		}
+		off += n
+		i = j
+	}
+	return nil
+}
+
+func (s *SSD) complete(p *sim.Proc, qp *devQP, cpl Completion) {
+	qp.cqLock.Acquire(p)
+	defer qp.cqLock.Release()
+	// Respect CQ flow control: wait while the CQ is full.
+	for (qp.cqTail+1)%qp.cfg.Entries == qp.cqHeadSee {
+		qp.cqKick.Wait(p)
+	}
+	cpl.Phase = qp.phase
+	raw := cpl.Encode()
+	s.fab.Mem().Write(qp.cqeBuf, raw[:])
+	cqeAddr := qp.cfg.CQ.Base + mem.Addr(uint64(qp.cqTail)*CompletionSize)
+	s.fab.MustDMA(p, s.port, cqeAddr, qp.cqeBuf, CompletionSize)
+	qp.cqTail++
+	if qp.cqTail == qp.cfg.Entries {
+		qp.cqTail = 0
+		qp.phase = !qp.phase
+	}
+	if qp.msiVector >= 0 {
+		s.fab.RaiseMSI(qp.msiVector)
+	}
+}
+
+// readBlock returns the flash content of lba (zeroes if never written).
+func (s *SSD) readBlock(lba uint64) []byte {
+	if b, ok := s.flash[lba]; ok {
+		return b
+	}
+	return make([]byte, BlockSize)
+}
+
+// Preload writes data directly into flash at setup time (no simulated
+// cost) — the testbed's way of staging datasets.
+func (s *SSD) Preload(lba uint64, data []byte) {
+	for off := 0; off < len(data); off += BlockSize {
+		blk := make([]byte, BlockSize)
+		copy(blk, data[off:])
+		s.flash[lba+uint64(off/BlockSize)] = blk
+	}
+}
+
+// PeekBlock returns a copy of a flash block for verification.
+func (s *SSD) PeekBlock(lba uint64) []byte {
+	blk := make([]byte, BlockSize)
+	copy(blk, s.readBlock(lba))
+	return blk
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

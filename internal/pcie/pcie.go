@@ -1,0 +1,303 @@
+// Package pcie models the PCI Express fabric of the testbed: a
+// multi-slot Gen2 switch (the paper uses a Cyclone PCIe2-2707, five
+// slots, 80 Gbps aggregate), per-port serializing links, DMA
+// transactions between bus addresses, posted MMIO writes (doorbells),
+// and MSI interrupts toward the root complex.
+//
+// The fabric enforces the peer-to-peer policy encoded in mem.Region:
+// a device may always DMA host DRAM and its own BARs, but it may reach
+// a peer region only when that region is an exposed P2P target. The
+// SSD and the NIC expose none, the GPU and the HDC Engine do — which
+// reproduces the paper's constraint that software-controlled P2P
+// cannot do SSD↔NIC while DCS-ctrl can (§V-A).
+package pcie
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/sim"
+)
+
+// Params are fabric timing/bandwidth parameters.
+type Params struct {
+	// LinkBps is each port link's usable bandwidth in bits/s
+	// (Gen2 x8: 5 GT/s × 8 lanes × 8b/10b = 32 Gbit/s).
+	LinkBps float64
+	// PropLatency is the one-way propagation latency through the
+	// switch (request routing + serialization start).
+	PropLatency sim.Time
+	// DMASetup is the fixed per-DMA-transaction overhead (descriptor
+	// fetch, tag allocation).
+	DMASetup sim.Time
+	// MMIOLatency is the delivery latency of a posted write.
+	MMIOLatency sim.Time
+	// CoreBps is the switch core's aggregate bandwidth (80 Gbps on
+	// the Cyclone PCIe2-2707).
+	CoreBps float64
+}
+
+// DefaultParams mirror the evaluation platform (Table V).
+func DefaultParams() Params {
+	return Params{
+		LinkBps:     32e9,
+		PropLatency: 300 * sim.Nanosecond,
+		DMASetup:    200 * sim.Nanosecond,
+		MMIOLatency: 300 * sim.Nanosecond,
+		CoreBps:     80e9,
+	}
+}
+
+// Port is one switch slot with an attached device (or the root
+// complex) and its up/down simplex links.
+type Port struct {
+	ID   int
+	Name string
+	up   *sim.BandwidthServer // device -> switch
+	down *sim.BandwidthServer // switch -> device
+
+	bytesIn  int64
+	bytesOut int64
+}
+
+// BytesIn returns bytes DMA'd into regions owned by this port.
+func (p *Port) BytesIn() int64 { return p.bytesIn }
+
+// BytesOut returns bytes DMA'd out of regions owned by this port.
+func (p *Port) BytesOut() int64 { return p.bytesOut }
+
+// Fabric is the switch plus the address-map-aware transaction engine.
+type Fabric struct {
+	env    *sim.Env
+	mem    *mem.Map
+	params Params
+	ports  []*Port
+	owner  map[*mem.Region]*Port
+	core   *sim.BandwidthServer
+	msi    map[int]func()
+
+	p2pBytes  int64 // device-to-device payload bytes (never via host DRAM)
+	hostBytes int64 // payload bytes with host DRAM as one endpoint
+}
+
+// NewFabric returns a fabric over the given address map.
+func NewFabric(env *sim.Env, m *mem.Map, params Params) *Fabric {
+	if params.CoreBps <= 0 {
+		params.CoreBps = 80e9
+	}
+	return &Fabric{
+		env:    env,
+		mem:    m,
+		params: params,
+		owner:  map[*mem.Region]*Port{},
+		core:   sim.NewBandwidthServer(env, "pcie-core", params.CoreBps, 0),
+		msi:    map[int]func(){},
+	}
+}
+
+// Mem returns the fabric's address map.
+func (f *Fabric) Mem() *mem.Map { return f.mem }
+
+// Params returns the fabric parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// AddPort creates a new slot.
+func (f *Fabric) AddPort(name string) *Port {
+	p := &Port{
+		ID:   len(f.ports),
+		Name: name,
+		up:   sim.NewBandwidthServer(f.env, name+"-up", f.params.LinkBps, 0),
+		down: sim.NewBandwidthServer(f.env, name+"-down", f.params.LinkBps, 0),
+	}
+	f.ports = append(f.ports, p)
+	return p
+}
+
+// Attach declares port as the owner of region: DMA touching the
+// region traverses this port's link.
+func (f *Fabric) Attach(port *Port, region *mem.Region) {
+	if prev, ok := f.owner[region]; ok {
+		panic(fmt.Sprintf("pcie: region %s already attached to %s", region.Name, prev.Name))
+	}
+	f.owner[region] = port
+}
+
+// OwnerOf returns the port owning the region containing addr.
+func (f *Fabric) OwnerOf(addr mem.Addr) (*Port, *mem.Region, error) {
+	r, _, err := f.mem.Resolve(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, ok := f.owner[r]
+	if !ok {
+		return nil, r, fmt.Errorf("pcie: region %s not attached to any port", r.Name)
+	}
+	return p, r, nil
+}
+
+// P2PBytes returns payload bytes moved device-to-device.
+func (f *Fabric) P2PBytes() int64 { return f.p2pBytes }
+
+// HostBytes returns payload bytes moved with host DRAM as an endpoint.
+func (f *Fabric) HostBytes() int64 { return f.hostBytes }
+
+// canReach checks the P2P policy for initiator touching region r.
+func canReach(initiator *Port, owner *Port, r *mem.Region) error {
+	if owner == initiator {
+		return nil // a device always reaches its own BARs/internal memory
+	}
+	if r.Kind == mem.HostDRAM {
+		return nil // root complex accepts DMA from any device
+	}
+	if !r.P2PTarget {
+		return fmt.Errorf("pcie: region %s (%s) is not a P2P target for %s",
+			r.Name, r.Kind, initiator.Name)
+	}
+	return nil
+}
+
+// DMA moves n bytes from src to dst on behalf of initiator, charging
+// link and switch-core occupancy plus propagation latency, then
+// copying the real bytes. It returns an error (without moving data)
+// when the P2P policy forbids the access — the condition that makes
+// direct SSD↔NIC impossible.
+func (f *Fabric) DMA(p *sim.Proc, initiator *Port, dst, src mem.Addr, n int) error {
+	if n == 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("pcie: negative DMA length")
+	}
+	srcPort, srcReg, err := f.OwnerOf(src)
+	if err != nil {
+		return err
+	}
+	dstPort, dstReg, err := f.OwnerOf(dst)
+	if err != nil {
+		return err
+	}
+	if err := canReach(initiator, srcPort, srcReg); err != nil {
+		return err
+	}
+	if err := canReach(initiator, dstPort, dstReg); err != nil {
+		return err
+	}
+
+	if srcPort == dstPort {
+		// Device-local move: no bus traffic, only internal copy time.
+		p.Sleep(f.params.DMASetup)
+		f.mem.Copy(dst, src, n)
+		return nil
+	}
+
+	// Store-and-forward through the switch: serialize on the source
+	// link, the switch core, and the destination link in turn. Each
+	// stage is an independent bandwidth server, so concurrent
+	// transactions on disjoint links pipeline freely — no transfer
+	// ever holds one link while waiting for another (which would
+	// convoy the whole fabric).
+	p.Sleep(f.params.DMASetup)
+	srcPort.up.Transfer(p, n)
+	f.core.Transfer(p, n)
+	dstPort.down.Transfer(p, n)
+	p.Sleep(f.params.PropLatency)
+
+	f.mem.Copy(dst, src, n)
+	srcPort.bytesOut += int64(n)
+	dstPort.bytesIn += int64(n)
+	if srcReg.Kind == mem.HostDRAM || dstReg.Kind == mem.HostDRAM {
+		f.hostBytes += int64(n)
+	} else {
+		f.p2pBytes += int64(n)
+	}
+	return nil
+}
+
+// DMAAsync starts a DMA and returns a signal that fires when it
+// completes — the "multiple outstanding tags" mode DMA engines use to
+// hide per-transaction latency. Policy errors panic (callers validate
+// paths at configuration time).
+func (f *Fabric) DMAAsync(initiator *Port, dst, src mem.Addr, n int) *sim.Signal {
+	sig := sim.NewSignal(f.env)
+	f.env.Spawn("dma-async", func(p *sim.Proc) {
+		f.MustDMA(p, initiator, dst, src, n)
+		sig.Fire(nil)
+	})
+	return sig
+}
+
+// MustDMA is DMA that panics on policy errors; device models use it on
+// paths that were validated at configuration time.
+func (f *Fabric) MustDMA(p *sim.Proc, initiator *Port, dst, src mem.Addr, n int) {
+	if err := f.DMA(p, initiator, dst, src, n); err != nil {
+		panic(err)
+	}
+}
+
+// CheckPath verifies, without simulating, that initiator may move data
+// between the two addresses — used by configuration code to decide
+// whether a direct path exists (e.g. SW-P2P feasibility probing).
+func (f *Fabric) CheckPath(initiator *Port, a, b mem.Addr) error {
+	pa, ra, err := f.OwnerOf(a)
+	if err != nil {
+		return err
+	}
+	pb, rb, err := f.OwnerOf(b)
+	if err != nil {
+		return err
+	}
+	if err := canReach(initiator, pa, ra); err != nil {
+		return err
+	}
+	return canReach(initiator, pb, rb)
+}
+
+// PostedWrite delivers a small write (a doorbell ring) to addr after
+// the MMIO latency. It does not block the caller: posted writes
+// complete from the initiator's point of view immediately.
+func (f *Fabric) PostedWrite(addr mem.Addr, val uint64) {
+	f.env.Schedule(f.params.MMIOLatency, func() {
+		var b [8]byte
+		putLE64(b[:], val)
+		f.mem.Write(addr, b[:])
+	})
+}
+
+// ReadReg performs a non-posted register read: the caller blocks for a
+// round trip and receives the current value.
+func (f *Fabric) ReadReg(p *sim.Proc, addr mem.Addr) uint64 {
+	p.Sleep(2 * f.params.MMIOLatency)
+	return le64(f.mem.Read(addr, 8))
+}
+
+// OnMSI registers a handler for an interrupt vector. Handlers run on
+// the scheduler and must not block (wake a process instead).
+func (f *Fabric) OnMSI(vector int, fn func()) {
+	if _, dup := f.msi[vector]; dup {
+		panic(fmt.Sprintf("pcie: MSI vector %d already registered", vector))
+	}
+	f.msi[vector] = fn
+}
+
+// RaiseMSI posts an interrupt toward the root complex.
+func (f *Fabric) RaiseMSI(vector int) {
+	fn, ok := f.msi[vector]
+	if !ok {
+		panic(fmt.Sprintf("pcie: MSI vector %d has no handler", vector))
+	}
+	f.env.Schedule(f.params.MMIOLatency, fn)
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,203 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel in the style of SimPy: a single logical timeline, an event
+// heap ordered by (time, sequence), and cooperative goroutine-backed
+// processes that park on the scheduler and are resumed one at a time.
+//
+// Exactly one goroutine (either the scheduler or the currently running
+// process) executes at any instant, so model code needs no locking and
+// every run with the same inputs produces the same event order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units, usable for both timestamps and durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time using time.Duration notation (e.g. "42µs").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Microseconds returns the time as a floating-point number of µs.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// event is a scheduled callback. Events with equal deadlines fire in
+// the order they were scheduled (seq), which keeps runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Env is a simulation environment: a clock, an event heap, and the
+// bookkeeping needed to hand control between scheduler and processes.
+type Env struct {
+	now   Time
+	seq   uint64
+	heap  eventHeap
+	yield chan struct{} // a running process signals here when it parks or exits
+	live  int           // processes spawned and not yet terminated
+	steps uint64        // events dispatched (diagnostics)
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yield: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (e *Env) Now() Time { return e.now }
+
+// Steps returns the number of events dispatched so far.
+func (e *Env) Steps() uint64 { return e.steps }
+
+// Live returns the number of processes that have been spawned and have
+// not yet terminated (parked processes count as live).
+func (e *Env) Live() int { return e.live }
+
+// Schedule runs fn after delay d. fn executes on the scheduler
+// goroutine and must not block; to run blocking logic, have fn wake a
+// process or spawn one.
+func (e *Env) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.at(e.now+d, fn)
+}
+
+func (e *Env) at(t Time, fn func()) {
+	e.seq++
+	heap.Push(&e.heap, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run dispatches events until the heap is empty or the clock would
+// pass horizon (horizon < 0 means run to exhaustion). It returns the
+// final simulation time. Events beyond the horizon remain queued, so
+// Run may be called again to continue.
+func (e *Env) Run(horizon Time) Time {
+	for e.heap.Len() > 0 {
+		ev := e.heap[0]
+		if horizon >= 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+	}
+	if horizon > e.now {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Pending reports whether any events remain queued.
+func (e *Env) Pending() bool { return e.heap.Len() > 0 }
+
+// Proc is a simulation process: a goroutine that runs model logic and
+// parks on the scheduler whenever it waits for simulated time or for a
+// synchronization object.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn creates a process and schedules it to start immediately (at
+// the current simulation time, after already-queued events).
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume // wait for the scheduler to start us
+		defer func() {
+			p.dead = true
+			e.live--
+			e.yield <- struct{}{} // final hand-back to the scheduler
+		}()
+		fn(p)
+	}()
+	e.at(e.now, func() { e.step(p) })
+	return p
+}
+
+// step transfers control to p and waits until it parks or terminates.
+func (e *Env) step(p *Proc) {
+	if p.dead {
+		panic("sim: resuming terminated process " + p.name)
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park returns control to the scheduler until the process is woken.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to resume at the current time.
+func (e *Env) wake(p *Proc) {
+	e.at(e.now, func() { e.step(p) })
+}
+
+// Sleep advances the process by d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in %s", d, p.name))
+	}
+	if d == 0 {
+		return
+	}
+	e := p.env
+	e.at(e.now+d, func() { e.step(p) })
+	p.park()
+}
+
+// Yield lets every event already scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() {
+	e := p.env
+	e.at(e.now, func() { e.step(p) })
+	p.park()
+}

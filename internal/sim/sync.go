@@ -1,0 +1,238 @@
+package sim
+
+import "fmt"
+
+// Signal is a one-shot completion flag. Processes block in Wait until
+// Fire is called; Fire wakes all current and future waiters.
+type Signal struct {
+	env     *Env
+	done    bool
+	val     any
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal(e *Env) *Signal { return &Signal{env: e} }
+
+// Done reports whether the signal has fired.
+func (s *Signal) Done() bool { return s.done }
+
+// Value returns the value passed to Fire (nil before firing).
+func (s *Signal) Value() any { return s.val }
+
+// Fire marks the signal done and wakes all waiters. Firing twice
+// panics: completions in the model must be unique.
+func (s *Signal) Fire(val any) {
+	if s.done {
+		panic("sim: signal fired twice")
+	}
+	s.done = true
+	s.val = val
+	for _, p := range s.waiters {
+		s.env.wake(p)
+	}
+	s.waiters = nil
+}
+
+// Wait blocks the process until the signal fires and returns the
+// fired value.
+func (s *Signal) Wait(p *Proc) any {
+	for !s.done {
+		s.waiters = append(s.waiters, p)
+		p.park()
+	}
+	return s.val
+}
+
+// Cond is a broadcast condition variable: Wait parks the process until
+// the next Broadcast, after which the caller re-checks its predicate
+// in a loop. Unlike Queue, stale notifications accumulate no state.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to e.
+func NewCond(e *Env) *Cond { return &Cond{env: e} }
+
+// Wait parks until the next Broadcast. Callers must loop:
+//
+//	for !predicate() { cond.Wait(p) }
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes every currently parked waiter.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.env.wake(w)
+	}
+}
+
+// Queue is an unbounded FIFO channel between processes. Put never
+// blocks; Get blocks until an item is available. Items are delivered
+// in insertion order and waiters are served in arrival order.
+type Queue[T any] struct {
+	env     *Env
+	name    string
+	items   []T
+	waiters []*Proc
+	maxLen  int // high-water mark, for diagnostics
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any](e *Env, name string) *Queue[T] {
+	return &Queue[T]{env: e, name: name}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// MaxLen returns the high-water mark of the queue length.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+// Put appends an item and wakes the first waiter, if any.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.wake(w)
+	}
+}
+
+// Get removes and returns the oldest item, blocking while empty.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and more waiters are parked, keep the chain going:
+	// the wake that freed us may have raced with multiple Puts.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.env.wake(w)
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Resource is a counting semaphore with FIFO hand-off: Release grants
+// the resource directly to the longest-waiting Acquire, so no waiter
+// can be starved by late arrivals.
+type Resource struct {
+	env     *Env
+	name    string
+	cap     int
+	inUse   int
+	waiters []*resWaiter
+
+	// busy-time accounting (for utilization reporting)
+	busy      Time // accumulated unit-busy time
+	lastStamp Time
+}
+
+type resWaiter struct {
+	p       *Proc
+	granted bool
+}
+
+// NewResource returns a resource with capacity units.
+func NewResource(e *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{env: e, name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Cap returns the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) stamp() {
+	now := r.env.now
+	r.busy += Time(r.inUse) * (now - r.lastStamp)
+	r.lastStamp = now
+}
+
+// BusyTime returns accumulated unit-busy time (unit-nanoseconds).
+func (r *Resource) BusyTime() Time {
+	r.stamp()
+	return r.busy
+}
+
+// Acquire blocks until a unit is available and takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.stamp()
+		r.inUse++
+		return
+	}
+	w := &resWaiter{p: p}
+	r.waiters = append(r.waiters, w)
+	for !w.granted {
+		p.park()
+	}
+}
+
+// TryAcquire takes a unit if one is free, without blocking.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.stamp()
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns a unit. If processes are waiting, ownership passes
+// directly to the head waiter without the count dropping.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		w.granted = true
+		r.env.wake(w.p)
+		return
+	}
+	r.stamp()
+	r.inUse--
+}
+
+// Use acquires the resource, sleeps for d, and releases it — the
+// common "occupy a server for a service time" pattern.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcsctrl/internal/sim"
+)
+
+// Sample accumulates scalar observations (latencies, sizes) and
+// reports summary statistics. Observations are kept, so percentiles
+// are exact.
+type Sample struct {
+	vals   []float64
+	sum    float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// AddTime records a sim.Time observation in microseconds.
+func (s *Sample) AddTime(t sim.Time) { s.Add(t.Microseconds()) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[len(s.vals)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s.vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.Percentile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Percentile(100) }
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// Histogram is a fixed-width bucket histogram over [0, width×buckets),
+// with an overflow bucket at the end.
+type Histogram struct {
+	width   float64
+	counts  []int64
+	total   int64
+	overMax float64
+}
+
+// NewHistogram returns a histogram with n buckets of the given width.
+func NewHistogram(width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic("trace: bad histogram shape")
+	}
+	return &Histogram{width: width, counts: make([]int64, n+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := int(v / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.counts)-1 {
+		i = len(h.counts) - 1
+		if v > h.overMax {
+			h.overMax = v
+		}
+	}
+	h.counts[i]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of buckets including overflow.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Counter is a monotonically increasing named counter set.
+type Counter struct {
+	m    map[string]int64
+	keys []string
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{m: map[string]int64{}} }
+
+// Inc adds delta to key.
+func (c *Counter) Inc(key string, delta int64) {
+	if _, ok := c.m[key]; !ok {
+		c.keys = append(c.keys, key)
+	}
+	c.m[key] += delta
+}
+
+// Get returns the value of key.
+func (c *Counter) Get(key string) int64 { return c.m[key] }
+
+// Keys returns keys in first-use order.
+func (c *Counter) Keys() []string { return append([]string(nil), c.keys...) }

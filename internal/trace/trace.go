@@ -1,0 +1,215 @@
+// Package trace provides the measurement machinery of the testbed:
+// per-category CPU busy-time accounting (the quantity behind the
+// paper's Figures 3b, 8, 12 and 13), latency breakdowns by pipeline
+// phase (Figures 3a and 11), and simple summary statistics.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dcsctrl/internal/sim"
+)
+
+// Category labels where CPU time or latency is spent. The set mirrors
+// the stacked-bar legends in the paper's figures.
+type Category string
+
+// Categories used across the testbed.
+const (
+	CatUser        Category = "user"         // application-level code
+	CatFileSystem  Category = "file-system"  // VFS, extent lookup, page cache
+	CatBlockLayer  Category = "block-layer"  // request queue, NVMe driver
+	CatNetStack    Category = "net-stack"    // TCP/IP, socket buffers, NIC driver
+	CatDevCtrl     Category = "device-ctrl"  // command submit/complete, doorbells
+	CatDataCopy    Category = "data-copy"    // user<->kernel and CPU-mediated copies
+	CatGPUCtrl     Category = "gpu-ctrl"     // kernel launch, cudaMemcpy control
+	CatGPUCopy     Category = "gpu-copy"     // CPU<->GPU data transfer time
+	CatInterrupt   Category = "interrupt"    // IRQ entry/exit, completion softirq
+	CatHDCDriver   Category = "hdc-driver"   // DCS-ctrl's thin kernel module
+	CatScoreboard  Category = "scoreboard"   // HDC Engine hardware scheduling
+	CatRead        Category = "read"         // storage media time
+	CatWrite       Category = "write"        // storage media time (writes)
+	CatHash        Category = "hash"         // checksum computation
+	CatNICTransmit Category = "nic-transmit" // wire serialization
+	CatPageCache   Category = "page-cache"   // stock-kernel page cache management
+	CatSockBuf     Category = "sock-buf"     // stock-kernel socket buffer management
+	CatIdleWait    Category = "wait"         // time blocked on devices (latency only)
+)
+
+// CPUAccount accumulates per-category core busy time. One account
+// normally covers one host (all its cores).
+type CPUAccount struct {
+	env   *sim.Env
+	busy  map[Category]sim.Time
+	start sim.Time
+}
+
+// NewCPUAccount returns an account starting at the current sim time.
+func NewCPUAccount(env *sim.Env) *CPUAccount {
+	return &CPUAccount{env: env, busy: map[Category]sim.Time{}, start: env.Now()}
+}
+
+// Charge adds d of busy time to category c.
+func (a *CPUAccount) Charge(c Category, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("trace: negative charge %v to %s", d, c))
+	}
+	a.busy[c] += d
+}
+
+// Reset clears all accumulated time and restarts the window now.
+func (a *CPUAccount) Reset() {
+	a.busy = map[Category]sim.Time{}
+	a.start = a.env.Now()
+}
+
+// Window returns the accounting window length so far.
+func (a *CPUAccount) Window() sim.Time { return a.env.Now() - a.start }
+
+// Busy returns the busy time accumulated for category c.
+func (a *CPUAccount) Busy(c Category) sim.Time { return a.busy[c] }
+
+// TotalBusy returns busy time summed over all categories.
+func (a *CPUAccount) TotalBusy() sim.Time {
+	var t sim.Time
+	for _, v := range a.busy {
+		t += v
+	}
+	return t
+}
+
+// Categories returns the categories with non-zero time, sorted.
+func (a *CPUAccount) Categories() []Category {
+	cs := make([]Category, 0, len(a.busy))
+	for c, v := range a.busy {
+		if v > 0 {
+			cs = append(cs, c)
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Utilization returns busy/(cores×window) for category c — the
+// fraction of total CPU capacity spent in c.
+func (a *CPUAccount) Utilization(c Category, cores int) float64 {
+	w := a.Window()
+	if w <= 0 || cores <= 0 {
+		return 0
+	}
+	return float64(a.busy[c]) / (float64(w) * float64(cores))
+}
+
+// TotalUtilization returns total busy / (cores×window).
+func (a *CPUAccount) TotalUtilization(cores int) float64 {
+	w := a.Window()
+	if w <= 0 || cores <= 0 {
+		return 0
+	}
+	return float64(a.TotalBusy()) / (float64(w) * float64(cores))
+}
+
+// Breakdown is an ordered latency decomposition of one operation:
+// phases appear in first-charge order, matching a stacked figure bar.
+type Breakdown struct {
+	order []Category
+	dur   map[Category]sim.Time
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{dur: map[Category]sim.Time{}}
+}
+
+// Add charges d to phase c, appending c to the order on first use.
+func (b *Breakdown) Add(c Category, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("trace: negative breakdown %v for %s", d, c))
+	}
+	if _, ok := b.dur[c]; !ok {
+		b.order = append(b.order, c)
+	}
+	b.dur[c] += d
+}
+
+// Get returns the time charged to phase c.
+func (b *Breakdown) Get(c Category) sim.Time { return b.dur[c] }
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b.dur {
+		t += v
+	}
+	return t
+}
+
+// Phases returns the phases in first-charge order.
+func (b *Breakdown) Phases() []Category {
+	return append([]Category(nil), b.order...)
+}
+
+// Merge accumulates other into b, preserving b's phase order and
+// appending any new phases.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for _, c := range other.order {
+		b.Add(c, other.dur[c])
+	}
+}
+
+// Scale multiplies every phase by f (used for averaging).
+func (b *Breakdown) Scale(f float64) {
+	for c, v := range b.dur {
+		b.dur[c] = sim.Time(float64(v) * f)
+	}
+}
+
+// String renders "phase=dur" pairs in order.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i, c := range b.order {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%v", c, b.dur[c])
+	}
+	return sb.String()
+}
+
+// AverageBreakdowns merges n breakdowns and divides by n.
+func AverageBreakdowns(bs []*Breakdown) *Breakdown {
+	out := NewBreakdown()
+	if len(bs) == 0 {
+		return out
+	}
+	for _, b := range bs {
+		out.Merge(b)
+	}
+	out.Scale(1 / float64(len(bs)))
+	return out
+}
+
+// Span measures one operation: wall-clock start/end plus a Breakdown.
+// A Span is handed down a pipeline so each stage can self-report.
+type Span struct {
+	Name      string
+	Start     sim.Time
+	End       sim.Time
+	Breakdown *Breakdown
+}
+
+// NewSpan opens a span at the current time.
+func NewSpan(env *sim.Env, name string) *Span {
+	return &Span{Name: name, Start: env.Now(), Breakdown: NewBreakdown()}
+}
+
+// Close records the end time and returns the span for chaining.
+func (s *Span) Close(env *sim.Env) *Span {
+	s.End = env.Now()
+	return s
+}
+
+// Latency returns End-Start.
+func (s *Span) Latency() sim.Time { return s.End - s.Start }

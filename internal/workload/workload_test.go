@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcsctrl/internal/sim"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100", same)
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zeros")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(7)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("Intn bucket %d = %d of 10000 (not ~uniform)", i, c)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(11)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(100)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 3 {
+		t.Fatalf("Exp mean = %v, want ~100", mean)
+	}
+}
+
+func TestExpTimePositive(t *testing.T) {
+	r := NewRand(13)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpTime(100 * sim.Microsecond); d < 0 {
+			t.Fatalf("negative inter-arrival %v", d)
+		}
+	}
+}
+
+func TestSizeDistSamplesWithinBuckets(t *testing.T) {
+	d := DropboxSizes()
+	r := NewRand(3)
+	min, max := d.Buckets[0].Min, d.Buckets[len(d.Buckets)-1].Max
+	for i := 0; i < 10000; i++ {
+		s := d.Sample(r)
+		if s < min || s > max {
+			t.Fatalf("sample %d outside [%d,%d]", s, min, max)
+		}
+	}
+}
+
+func TestSizeDistWeights(t *testing.T) {
+	d := DropboxSizes()
+	r := NewRand(5)
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) <= 32<<10 {
+			small++
+		}
+	}
+	frac := float64(small) / n
+	// First bucket weight is 0.30 (plus a sliver from bucket 2's min).
+	if frac < 0.25 || frac > 0.36 {
+		t.Fatalf("small-file fraction %.3f, want ~0.30", frac)
+	}
+}
+
+func TestSizeDistMean(t *testing.T) {
+	d := DropboxSizes()
+	want := d.Mean()
+	r := NewRand(17)
+	var sum float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		sum += float64(d.Sample(r))
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("empirical mean %.0f vs analytic %.0f", got, want)
+	}
+}
+
+func TestBadBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSizeDist([]SizeBucket{{Weight: 1, Min: 10, Max: 5}})
+}
+
+func TestMixRatio(t *testing.T) {
+	m := NewMix(9, DropboxSizes(), 0.67)
+	gets := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Next().Kind == OpGET {
+			gets++
+		}
+	}
+	frac := float64(gets) / n
+	if math.Abs(frac-0.67) > 0.02 {
+		t.Fatalf("GET fraction %.3f, want 0.67", frac)
+	}
+}
+
+func TestMixDeterministicReplay(t *testing.T) {
+	run := func() []Request {
+		m := NewMix(21, DropboxSizes(), 0.5)
+		out := make([]Request, 100)
+		for i := range out {
+			out[i] = m.Next()
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mix replay diverged")
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpGET.String() != "GET" || OpPUT.String() != "PUT" {
+		t.Fatal("bad strings")
+	}
+}
+
+// Property: every sample is within some bucket's [Min,Max].
+func TestSampleInBucketProperty(t *testing.T) {
+	d := DropboxSizes()
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		s := d.Sample(r)
+		for _, b := range d.Buckets {
+			if s >= b.Min && s <= b.Max {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
