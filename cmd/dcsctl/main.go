@@ -6,14 +6,17 @@
 //
 //	dcsctl -config dcs-ctrl -op send -size 262144 -proc md5 -n 4
 //	dcsctl -config sw-p2p   -op recv -size 1048576 -proc crc32
+//	dcsctl -config dcs-ctrl -op send -n 8 -faults heavy -fault-seed 42
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dcsctrl/internal/core"
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/sim"
 	"dcsctrl/internal/trace"
 )
@@ -24,6 +27,9 @@ func main() {
 	size := flag.Int("size", 256<<10, "bytes per operation")
 	procName := flag.String("proc", "md5", "none|md5|crc32|aes256|gzip")
 	count := flag.Int("n", 1, "operations to run back to back")
+	faults := flag.String("faults", "none",
+		"fault-injection profile: "+strings.Join(fault.ProfileNames(), "|"))
+	faultSeed := flag.Uint64("fault-seed", 1, "deterministic fault-injection seed")
 	flag.Parse()
 
 	kind, proc, err := parse(*cfgName, *procName)
@@ -31,9 +37,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcsctl:", err)
 		os.Exit(2)
 	}
+	profile, ok := fault.ProfileByName(*faults)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dcsctl: unknown fault profile %q (want %s)\n",
+			*faults, strings.Join(fault.ProfileNames(), "|"))
+		os.Exit(2)
+	}
 
+	params := core.DefaultParams()
+	if len(profile.Rules) > 0 {
+		params.Faults = fault.NewInjector(*faultSeed, profile)
+	}
 	env := sim.NewEnv()
-	cl := core.NewCluster(env, kind, core.DefaultParams())
+	cl := core.NewCluster(env, kind, params)
 	content := make([]byte, *size)
 	for i := range content {
 		content[i] = byte(i * 13)
@@ -94,6 +110,21 @@ func main() {
 		busy, end, cl.Server.Host.Utilization()*100, core.DefaultParams().Host.Cores)
 	gbps := float64(*count**size) * 8 / end.Seconds() / 1e9
 	fmt.Printf("delivered %.2f Gbps\n", gbps)
+
+	if params.Faults != nil {
+		fmt.Printf("\nfault injection (profile=%s seed=%d): %d faults fired\n",
+			params.Faults.ProfileUsed().Name, params.Faults.Seed(), params.Faults.TotalInjected())
+		if s := params.Faults.StatsString(); s != "" {
+			fmt.Print(s)
+		}
+		replays, refetches := cl.Server.NIC.RecoveryStats()
+		fmt.Printf("recovery: nic-tx-replays=%d nic-bd-refetches=%d host-nvme-retries=%d fallbacks=%d\n",
+			replays, refetches, cl.Server.HostNVMeRetries(), cl.Server.Fallbacks())
+		if d := cl.Server.Driver; d != nil {
+			fmt.Printf("hdc driver: retries=%d timeouts=%d engine-failed=%v\n",
+				d.Retries(), d.Timeouts(), d.Failed())
+		}
+	}
 }
 
 func parse(cfgName, procName string) (core.Config, core.Processing, error) {

@@ -29,6 +29,7 @@ import (
 
 	"dcsctrl/internal/apps"
 	"dcsctrl/internal/core"
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/fpga"
 	"dcsctrl/internal/hostos"
 	"dcsctrl/internal/sim"
@@ -67,7 +68,25 @@ type (
 	HDFSResult = apps.HDFSResult
 	// Scalability is the Figure 13 projection model.
 	Scalability = core.Scalability
+	// FaultProfile is a named set of fault-injection rules.
+	FaultProfile = fault.Profile
+	// FaultInjector draws seed-deterministic fault decisions.
+	FaultInjector = fault.Injector
 )
+
+// FaultProfileByName resolves a named fault profile ("none", "light",
+// "heavy", "engine-fail").
+func FaultProfileByName(name string) (FaultProfile, bool) {
+	return fault.ProfileByName(name)
+}
+
+// FaultProfileNames lists the named fault profiles.
+func FaultProfileNames() []string { return fault.ProfileNames() }
+
+// NewFaultInjector builds a deterministic injector for a profile.
+func NewFaultInjector(seed uint64, profile FaultProfile) *FaultInjector {
+	return fault.NewInjector(seed, profile)
+}
 
 // Server configurations.
 const (
@@ -104,6 +123,8 @@ func DefaultParams() Params { return core.DefaultParams() }
 type Testbed struct {
 	Env     *sim.Env
 	Cluster *core.Cluster
+
+	faults *fault.Injector
 }
 
 // Option customizes testbed construction.
@@ -112,6 +133,7 @@ type Option func(*options)
 type options struct {
 	params     Params
 	clientKind Config
+	faults     *fault.Injector
 }
 
 // WithParams overrides the calibration parameters.
@@ -121,16 +143,28 @@ func WithParams(p Params) Option { return func(o *options) { o.params = p } }
 // software; the HDFS experiment runs the design under test on both).
 func WithClientConfig(k Config) Option { return func(o *options) { o.clientKind = k } }
 
+// WithFaults threads a deterministic fault injector through every
+// device model on both nodes: same seed and profile, same faults,
+// bit-for-bit. Recovery machinery (driver retries, command watchdog,
+// host-mediated fallback) is armed automatically.
+func WithFaults(seed uint64, profile FaultProfile) Option {
+	return func(o *options) { o.faults = fault.NewInjector(seed, profile) }
+}
+
 // NewTestbed builds a server of the given configuration plus a client.
 func NewTestbed(serverKind Config, opts ...Option) *Testbed {
 	o := options{params: core.DefaultParams(), clientKind: SWOpt}
 	for _, fn := range opts {
 		fn(&o)
 	}
+	if o.faults != nil {
+		o.params.Faults = o.faults
+	}
 	env := sim.NewEnv()
 	return &Testbed{
 		Env:     env,
 		Cluster: core.NewClusterWithClient(env, serverKind, o.clientKind, o.params),
+		faults:  o.params.Faults,
 	}
 }
 
@@ -172,20 +206,14 @@ func (t *Testbed) RecvFile(p *Proc, conn Conn, f *File, off, n int, proc Process
 }
 
 // CopyFile moves data between two server files through the HDC Engine
-// (SSD→[NDP]→SSD, no host data path). DCS-ctrl servers only.
+// (SSD→[NDP]→SSD, no host data path). DCS-ctrl servers only; if the
+// engine has failed, the copy degrades to the host-staged path.
 func (t *Testbed) CopyFile(p *Proc, src *File, srcOff int, dst *File, dstOff, n int, proc Processing) (OpResult, error) {
 	srv := t.Cluster.Server
 	if srv.Driver == nil {
 		return OpResult{}, fmt.Errorf("dcsctrl: CopyFile requires a DCS-ctrl server")
 	}
-	bd := trace.NewBreakdown()
-	start := t.Env.Now()
-	res, err := srv.Driver.CopyFile(p, bd, srv.DevOf(src), src, srcOff, srv.DevOf(dst), dst, dstOff, n, uint8(proc))
-	out := OpResult{Breakdown: bd, Latency: t.Env.Now() - start, Digest: res.Aux}
-	if err == nil && res.Status != 0 {
-		err = fmt.Errorf("dcsctrl: copy failed with status %d", res.Status)
-	}
-	return out, err
+	return srv.CopyFileOp(p, src, srcOff, dst, dstOff, n, proc)
 }
 
 // ProvisionAESKey installs an AES-256 key slot on the server's engine;
@@ -252,6 +280,41 @@ func (t *Testbed) FPGABudget() *fpga.Budget {
 		return nil
 	}
 	return t.Cluster.Server.Engine.Budget()
+}
+
+// Faults returns the testbed's fault injector (nil without WithFaults).
+func (t *Testbed) Faults() *FaultInjector { return t.faults }
+
+// RecoveryStats summarizes the recovery machinery's activity across
+// the server node after a run under fault injection.
+type RecoveryStats struct {
+	Injected        int64 // total faults the injector fired (both nodes)
+	DriverRetries   int64 // D2D commands re-issued after transient status
+	DriverTimeouts  int64 // D2D commands abandoned by the watchdog
+	EngineFailed    bool  // engine declared dead
+	Fallbacks       int64 // ops completed on the host-mediated path
+	HostNVMeRetries int64 // host NVMe driver re-submissions
+	NICTxReplays    int64 // corrupt frames re-transmitted
+	NICBDRefetches  int64 // stuck buffer descriptors re-fetched
+}
+
+// ServerRecoveryStats collects the server's recovery counters.
+func (t *Testbed) ServerRecoveryStats() RecoveryStats {
+	srv := t.Cluster.Server
+	rs := RecoveryStats{
+		Fallbacks:       srv.Fallbacks(),
+		HostNVMeRetries: srv.HostNVMeRetries(),
+	}
+	if t.faults != nil {
+		rs.Injected = t.faults.TotalInjected()
+	}
+	rs.NICTxReplays, rs.NICBDRefetches = srv.NIC.RecoveryStats()
+	if srv.Driver != nil {
+		rs.DriverRetries = srv.Driver.Retries()
+		rs.DriverTimeouts = srv.Driver.Timeouts()
+		rs.EngineFailed = srv.Driver.Failed()
+	}
+	return rs
 }
 
 // RunSwift executes the object-storage workload on this testbed.

@@ -66,6 +66,10 @@ type Node struct {
 	arenaOff uint64
 	vramOff  uint64 // GPU staging ring cursor
 
+	adopted         bool  // engine connections taken over by the host
+	fallbacks       int64 // ops completed on the host-mediated path
+	hostNVMeRetries int64 // host-driver NVMe re-submissions
+
 	timeline []TimelineEvent
 	tracing  bool
 }
@@ -93,6 +97,18 @@ type TimelineEvent struct {
 
 // NewNode builds a node of the given configuration on a fresh fabric.
 func NewNode(env *sim.Env, name string, kind Config, params Params) *Node {
+	if params.Faults != nil {
+		params.PCIe.Faults = params.Faults
+		params.SSD.Faults = params.Faults
+		params.NIC.Faults = params.Faults
+		params.HDC.Faults = params.Faults
+		if params.Driver.CmdTimeout == 0 {
+			// Arm the watchdog only under fault injection: in clean runs
+			// the timer events would stretch the event horizon of
+			// open-ended simulations for no benefit.
+			params.Driver.CmdTimeout = 20 * sim.Millisecond
+		}
+	}
 	n := &Node{
 		Name: name, Kind: kind, Params: params,
 		Env:   env,
@@ -330,13 +346,16 @@ func (n *Node) writebackPage(p *sim.Proc, f *hostos.File, page int, data []byte)
 	sig.Wait(p)
 }
 
+// Host NVMe driver recovery policy: a retryable media error is
+// re-submitted with exponential backoff a bounded number of times.
+const (
+	hostNVMeMaxRetries   = 4
+	hostNVMeRetryBackoff = 5 * sim.Microsecond
+)
+
 // submitHostNVMe issues one NVMe command from the host driver's ring.
 // CPU cost is charged by the caller; this performs the ring protocol.
 func (n *Node) submitHostNVMe(p *sim.Proc, dev uint8, write bool, lba uint64, blocks int, pages []mem.Addr, done *sim.Signal) {
-	ring := n.nvmeRings[dev]
-	for ring.Full() {
-		n.nvmeWait.Wait(p)
-	}
 	prpBuf := n.allocHost(4096)
 	prp1, prp2, err := nvme.BuildPRPs(n.MM, pages, prpBuf)
 	if err != nil {
@@ -346,17 +365,48 @@ func (n *Node) submitHostNVMe(p *sim.Proc, dev uint8, write bool, lba uint64, bl
 	if write {
 		op = nvme.OpWrite
 	}
-	_, err = ring.Submit(nvme.Command{
+	n.issueHostNVMe(p, dev, nvme.Command{
 		Opcode: op, NSID: 1, PRP1: prp1, PRP2: prp2,
 		SLBA: lba, NLB: uint16(blocks - 1),
-	}, func(cpl nvme.Completion) {
-		if cpl.Status != nvme.StatusSuccess {
-			panic(fmt.Sprintf("core: nvme status %#x", cpl.Status))
+	}, 0, done)
+}
+
+// issueHostNVMe submits one attempt of a command and arranges retries.
+// The PRP lists are reused verbatim: a media error is injected before
+// the SSD moves data or commits flash, so a re-submission is
+// idempotent.
+func (n *Node) issueHostNVMe(p *sim.Proc, dev uint8, cmd nvme.Command, attempt int, done *sim.Signal) {
+	ring := n.nvmeRings[dev]
+	for ring.Full() {
+		n.nvmeWait.Wait(p)
+	}
+	_, err := ring.Submit(cmd, func(cpl nvme.Completion) {
+		switch {
+		case cpl.Status == nvme.StatusSuccess:
+			done.Fire(nil)
+		case nvme.Retryable(cpl.Status) && attempt < hostNVMeMaxRetries:
+			n.hostNVMeRetries++
+			// Completion callbacks run on the scheduler and cannot
+			// block; a spawned process performs the backoff and the
+			// (potentially ring-full-blocking) re-submission.
+			n.Env.Spawn(fmt.Sprintf("%s-nvme%d-retry", n.Name, dev), func(rp *sim.Proc) {
+				rp.Sleep(hostNVMeRetryBackoff << uint(attempt))
+				n.issueHostNVMe(rp, dev, cmd, attempt+1, done)
+			})
+		default:
+			panic(fmt.Sprintf("core: nvme status %#x after %d attempts", cpl.Status, attempt+1))
 		}
-		done.Fire(nil)
 	})
 	if err != nil {
 		panic(err)
 	}
 	ring.RingDoorbell()
 }
+
+// Fallbacks returns how many operations completed on the
+// host-mediated path after an engine failure.
+func (n *Node) Fallbacks() int64 { return n.fallbacks }
+
+// HostNVMeRetries returns how many NVMe commands the host driver
+// re-submitted after retryable media errors.
+func (n *Node) HostNVMeRetries() int64 { return n.hostNVMeRetries }

@@ -41,7 +41,12 @@ func (n *Node) SendFileOp(p *sim.Proc, f *hostos.File, off, nbytes int, connID u
 		res, err = n.Driver.SendFileDev(p, bd, n.fileDev[f.Name], f, off, nbytes, connID, uint8(proc))
 		n.trace("driver", "completion interrupt, return to user")
 		digest = res.Aux
-		if err == nil && res.Status != 0 {
+		if err == hdc.ErrEngineFailed {
+			n.failoverToHost(p, bd)
+			n.fallbacks++
+			n.trace("kernel", "engine failed: host-mediated fallback")
+			digest, err = n.softwareSend(p, bd, f, off, nbytes, connID, proc)
+		} else if err == nil && res.Status != 0 {
 			err = fmt.Errorf("core: D2D command failed with status %d", res.Status)
 		}
 	case DevIntegration:
@@ -175,25 +180,98 @@ func (n *Node) RecvFileOp(p *sim.Proc, connID uint64, f *hostos.File, off, nbyte
 		var res hdc.Result
 		res, err = n.Driver.RecvFileDev(p, bd, connID, n.fileDev[f.Name], f, off, nbytes, uint8(proc))
 		digest = res.Aux
-		if err == nil && res.Status != 0 {
+		if err == hdc.ErrEngineFailed {
+			n.failoverToHost(p, bd)
+			n.fallbacks++
+			digest, err = n.hostStagedRecv(p, bd, connID, f, off, nbytes, proc)
+		} else if err == nil && res.Status != 0 {
 			err = fmt.Errorf("core: D2D command failed with status %d", res.Status)
 		}
 	case DevIntegration:
 		err = fmt.Errorf("core: integrated device receive path not modelled")
 	default:
-		hp := n.Params.Host
-		n.Host.Exec(p, trace.CatUser, hp.SyscallEntry, bd)
+		digest, err = n.hostStagedRecv(p, bd, connID, f, off, nbytes, proc)
+	}
+	return OpResult{Breakdown: bd, Latency: p.Now() - start, Digest: digest}, err
+}
+
+// hostStagedRecv is the host-mediated receive path: gather the stream
+// into a DRAM staging buffer, process, write to the file — shared by
+// the software baselines and the DCS fallback path.
+func (n *Node) hostStagedRecv(p *sim.Proc, bd *trace.Breakdown, connID uint64, f *hostos.File, off, nbytes int, proc Processing) ([]byte, error) {
+	hp := n.Params.Host
+	n.Host.Exec(p, trace.CatUser, hp.SyscallEntry, bd)
+	buf := n.allocHost(uint64(nbytes) + 4096)
+	n.hostNetRecvTo(p, bd, connID, nbytes, buf)
+	var digest []byte
+	if proc != ProcNone {
+		var err error
+		digest, err = n.hostProcess(p, bd, buf, nbytes, proc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n.hostWriteFile(p, bd, f, off, nbytes, buf)
+	return digest, nil
+}
+
+// CopyFileOp moves nbytes between two files. On a DCS node it is a
+// single D2D command; if the engine has failed it degrades to a
+// host-staged read+process+write so the operation still completes.
+func (n *Node) CopyFileOp(p *sim.Proc, srcF *hostos.File, srcOff int, dstF *hostos.File, dstOff, nbytes int, proc Processing) (OpResult, error) {
+	bd := trace.NewBreakdown()
+	start := p.Now()
+	if n.Kind != DCSCtrl {
+		return OpResult{}, fmt.Errorf("core: CopyFileOp requires a DCS-ctrl node")
+	}
+	res, err := n.Driver.CopyFile(p, bd, n.fileDev[srcF.Name], srcF, srcOff,
+		n.fileDev[dstF.Name], dstF, dstOff, nbytes, uint8(proc))
+	digest := res.Aux
+	if err == hdc.ErrEngineFailed {
+		n.failoverToHost(p, bd)
+		n.fallbacks++
 		buf := n.allocHost(uint64(nbytes) + 4096)
-		n.hostNetRecvTo(p, bd, connID, nbytes, buf)
+		n.hostReadFile(p, bd, srcF, srcOff, nbytes, buf)
 		if proc != ProcNone {
 			digest, err = n.hostProcess(p, bd, buf, nbytes, proc)
 			if err != nil {
 				return OpResult{Breakdown: bd}, err
 			}
+		} else {
+			err = nil
 		}
-		n.hostWriteFile(p, bd, f, off, nbytes, buf)
+		n.hostWriteFile(p, bd, dstF, dstOff, nbytes, buf)
+	} else if err == nil && res.Status != 0 {
+		err = fmt.Errorf("core: D2D command failed with status %d", res.Status)
 	}
 	return OpResult{Breakdown: bd, Latency: p.Now() - start, Digest: digest}, err
+}
+
+// failoverToHost adopts the engine's connections into the host network
+// stack after an unrecoverable engine failure. It runs once; the
+// salvaged per-connection state (sequence numbers plus any payload
+// already reassembled in engine DDR3) seeds host connections so
+// streams continue without loss. The reconfiguration cost is charged
+// to trace.CatFallback so fail-overs show up in breakdowns.
+func (n *Node) failoverToHost(p *sim.Proc, bd *trace.Breakdown) {
+	n.Host.Exec(p, trace.CatFallback, n.Params.Host.CtxSwitch, bd)
+	if n.adopted {
+		return
+	}
+	n.adopted = true
+	for _, ac := range n.Engine.AdoptConnections() {
+		// Dropping the steering rule sends subsequent frames to host
+		// queue 0 (the RSS default).
+		n.NIC.ClearSteering(ac.Flow.Reverse().Tuple())
+		if _, dup := n.conns[ac.ID]; dup {
+			panic(fmt.Sprintf("core: adopted connection %d collides on %s", ac.ID, n.Name))
+		}
+		n.conns[ac.ID] = &hostConn{
+			id: ac.ID, flow: ac.Flow, txSeq: ac.TxSeq, rxSeq: ac.RxSeq,
+			stream: ac.Buffered,
+		}
+		n.Host.Exec(p, trace.CatFallback, n.Params.Host.SockSendSetup, bd)
+	}
 }
 
 // integratedSend models the tightly integrated device of Figure 3: a

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/gpu"
 	"dcsctrl/internal/hdc"
 	"dcsctrl/internal/hostos"
@@ -92,6 +93,13 @@ type Params struct {
 	// drives. One suffices at 10 GbE; 40 GbE needs several, exactly
 	// as the host side needs RSS.
 	EngineNICQueues int
+
+	// Faults, when non-nil, threads a deterministic fault injector
+	// through every device model on the node (internal/fault). NewNode
+	// also arms the HDC Driver's command watchdog (unless CmdTimeout
+	// was set explicitly) so an injected engine failure is detected
+	// and recovered rather than hanging the run.
+	Faults *fault.Injector
 }
 
 // DefaultParams return the full calibrated parameter set.

@@ -1,0 +1,139 @@
+package fault
+
+import "testing"
+
+// Same seed, same profile: the decision sequence at every site must
+// replay bit-identically.
+func TestDeterministicStreams(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := NewInjector(seed, Heavy())
+		var out []bool
+		for i := 0; i < 2000; i++ {
+			for _, s := range Sites() {
+				out = append(out, in.Hit(s))
+			}
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged for identical seeds", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical decision sequences")
+	}
+}
+
+// Streams are per-site: drawing on one site must not perturb another
+// site's sequence.
+func TestStreamsIndependentAcrossSites(t *testing.T) {
+	drawSite := func(interleave bool) []bool {
+		in := NewInjector(7, Heavy())
+		var out []bool
+		for i := 0; i < 500; i++ {
+			if interleave {
+				in.Hit(NICCorruptFrame) // extra traffic on another site
+				in.Hit(PCIeDropPosted)
+			}
+			out = append(out, in.Hit(NVMeReadError))
+		}
+		return out
+	}
+	plain, interleaved := drawSite(false), drawSite(true)
+	for i := range plain {
+		if plain[i] != interleaved[i] {
+			t.Fatalf("nvme.read-error decision %d changed when other sites drew", i)
+		}
+	}
+}
+
+func TestLimitCapsInjections(t *testing.T) {
+	in := NewInjector(1, Profile{Name: "t", Rules: map[Site]Rule{
+		HDCPoisonCpl: {Prob: 1, Limit: 3},
+	}})
+	fired := 0
+	for i := 0; i < 100; i++ {
+		if in.Hit(HDCPoisonCpl) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("limit 3 with prob 1 fired %d times", fired)
+	}
+	if got := in.Injected(HDCPoisonCpl); got != 3 {
+		t.Fatalf("Injected = %d, want 3", got)
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Hit(NVMeReadError) {
+		t.Fatal("nil injector fired")
+	}
+	if in.TotalInjected() != 0 || in.Injected(NICStuckBD) != 0 || in.Seed() != 0 {
+		t.Fatal("nil injector reported nonzero state")
+	}
+	if len(in.Stats()) != 0 {
+		t.Fatal("nil injector reported stats")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Fatalf("profile %q not found", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("profile %q invalid: %v", name, err)
+		}
+		if name != "none" && len(p.Rules) == 0 {
+			t.Fatalf("profile %q has no rules", name)
+		}
+	}
+	if _, ok := ProfileByName("no-such"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", Rules: map[Site]Rule{Site("bogus.site"): {Prob: 0.5}}},
+		{Name: "x", Rules: map[Site]Rule{NVMeReadError: {Prob: 1.5}}},
+		{Name: "x", Rules: map[Site]Rule{NVMeReadError: {Prob: 0.5, Limit: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("profile %d validated unexpectedly", i)
+		}
+	}
+}
+
+// Probabilities are honoured to rough tolerance — a sanity check that
+// the uniform draw is wired up correctly.
+func TestProbabilityRoughlyHonoured(t *testing.T) {
+	in := NewInjector(9, Profile{Name: "t", Rules: map[Site]Rule{
+		NICCorruptFrame: {Prob: 0.25},
+	}})
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if in.Hit(NICCorruptFrame) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("prob 0.25 fired at rate %.3f", frac)
+	}
+}

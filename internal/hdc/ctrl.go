@@ -13,12 +13,21 @@ import (
 // nvmeReq asks the NVMe controller to move blocks between flash and
 // an engine buffer.
 type nvmeReq struct {
-	write  bool
-	lba    uint64
-	blocks int
-	buf    mem.Addr // engine DDR3 address
-	done   *sim.Signal
+	write   bool
+	lba     uint64
+	blocks  int
+	buf     mem.Addr // engine DDR3 address
+	done    *sim.Signal
+	attempt int // retries already spent on this request
 }
+
+// NVMe retry policy of the engine's hardware controller: transient
+// media errors are re-issued with exponential backoff; deterministic
+// protocol errors still panic (they are model bugs).
+const (
+	nvmeMaxRetries   = 4
+	nvmeRetryBackoff = 5 * sim.Microsecond
+)
 
 // NVMeCtrl is the standard NVMe device controller of Figure 7a: a
 // queue pair in engine BRAM, hardware logic that builds NVMe commands
@@ -36,7 +45,8 @@ type NVMeCtrl struct {
 	prpPages []mem.Addr
 	prpNext  int
 
-	cmds int64
+	cmds    int64
+	retries int64
 }
 
 func newNVMeCtrl(eng *Engine, ssd *nvme.SSD, qid uint16, entries, idx int) *NVMeCtrl {
@@ -97,15 +107,27 @@ func (c *NVMeCtrl) loop(p *sim.Proc) {
 		if r.write {
 			op = nvme.OpWrite
 		}
-		done := r.done
+		req := r
 		_, err = c.ring.Submit(nvme.Command{
 			Opcode: op, NSID: 1, PRP1: prp1, PRP2: prp2,
 			SLBA: r.lba, NLB: uint16(r.blocks - 1),
 		}, func(cpl nvme.Completion) {
-			if cpl.Status != nvme.StatusSuccess {
-				panic(fmt.Sprintf("hdc: nvme status %#x", cpl.Status))
+			switch {
+			case cpl.Status == nvme.StatusSuccess:
+				req.done.Fire(nil)
+			case nvme.Retryable(cpl.Status) && req.attempt < nvmeMaxRetries:
+				// Transient media error: re-enqueue the request after an
+				// exponential backoff. The callback runs on the scheduler,
+				// so the requeue is deferred rather than slept.
+				c.retries++
+				retry := req
+				retry.attempt++
+				c.eng.env.Schedule(nvmeRetryBackoff<<uint(req.attempt), func() {
+					c.reqQ.Put(retry)
+				})
+			default:
+				panic(fmt.Sprintf("hdc: nvme status %#x after %d attempts", cpl.Status, req.attempt+1))
 			}
-			done.Fire(nil)
 		})
 		if err != nil {
 			panic(err)
@@ -236,6 +258,28 @@ func (c *NICCtrl) Conn(id uint64) (ether.Flow, uint32, uint32, bool) {
 		return ether.Flow{}, 0, 0, false
 	}
 	return cn.flow, cn.txSeq, cn.rxSeq, true
+}
+
+// DrainConn removes a connection from the controller and returns its
+// flow state plus any buffered in-order payload bytes. This is the
+// fail-over path: after an engine hard failure the driver salvages
+// connection state and DDR3-buffered receive data (DDR3 is a P2P-
+// readable BAR) so the host network stack can take the connection
+// over without losing stream bytes. Frames arriving after the drain
+// find no registered connection and are recycled; the caller must
+// re-steer the flow to a host queue first.
+func (c *NICCtrl) DrainConn(id uint64) (flow ether.Flow, txSeq, rxSeq uint32, buffered []byte, ok bool) {
+	cn, ok := c.conns[id]
+	if !ok {
+		return ether.Flow{}, 0, 0, nil, false
+	}
+	mm := c.eng.fab.Mem()
+	for _, ext := range cn.rxBufs {
+		buffered = append(buffered, mm.Read(ext.addr, ext.n)...)
+		c.eng.recvPool.Put(ext.buf)
+	}
+	delete(c.conns, id)
+	return cn.flow, cn.txSeq, cn.rxSeq, buffered, true
 }
 
 func (c *NICCtrl) onStatus() {

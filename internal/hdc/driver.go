@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"dcsctrl/internal/ether"
@@ -12,10 +13,15 @@ import (
 	"dcsctrl/internal/trace"
 )
 
+// ErrEngineFailed reports that the HDC Engine stopped completing
+// commands (a command timed out). The driver marks the engine failed
+// and callers fall back to the host-mediated data path.
+var ErrEngineFailed = errors.New("hdc: engine failed (command timeout)")
+
 // DriverParams are the host CPU costs of the HDC Driver — the thin
-// kernel module of §IV-B. They are small by design: the driver only
-// resolves metadata and posts one command where the software stacks
-// run entire I/O paths.
+// kernel module of §IV-B — plus its recovery policy. The CPU costs
+// are small by design: the driver only resolves metadata and posts
+// one command where the software stacks run entire I/O paths.
 type DriverParams struct {
 	MetadataLookup sim.Time // VFS interaction: extent map retrieval
 	DirtyCheck     sim.Time // page-cache consistency check per request
@@ -23,6 +29,18 @@ type DriverParams struct {
 	CmdBuild       sim.Time // D2D command construction
 	CmdPost        sim.Time // MMIO write of command + doorbell
 	IRQHandle      sim.Time // completion interrupt handling per batch
+
+	// CmdTimeout declares the engine dead when a command gets no
+	// completion in time; 0 disables the watchdog. It must exceed the
+	// worst-case legitimate command latency — core.NewNode enables it
+	// automatically when fault injection is configured.
+	CmdTimeout sim.Time
+	// MaxRetries bounds re-issues of a command the engine completed
+	// with a transient (poisoned) status.
+	MaxRetries int
+	// RetryBackoff is the initial backoff before a re-issue; it
+	// doubles per attempt.
+	RetryBackoff sim.Time
 }
 
 // DefaultDriverParams return the calibrated driver costs.
@@ -34,6 +52,9 @@ func DefaultDriverParams() DriverParams {
 		CmdBuild:       300 * sim.Nanosecond,
 		CmdPost:        400 * sim.Nanosecond,
 		IRQHandle:      700 * sim.Nanosecond,
+
+		MaxRetries:   3,
+		RetryBackoff: 5 * sim.Microsecond,
 	}
 }
 
@@ -61,12 +82,27 @@ type Driver struct {
 	tail        uint64
 	outstanding int
 	slotFree    *sim.Cond
-	waiting     map[uint32]*sim.Signal
+	waiting     map[uint32]*cmdWaiter
 	cplHead     uint64
+
+	failed   bool  // engine declared dead after a command timeout
+	retries  int64 // transient-status re-issues
+	timeouts int64 // commands abandoned by the watchdog
+	orphans  int64 // completions for commands already abandoned
 
 	// Writeback flushes a dirty page before a D2D read; wired by the
 	// server configuration (it needs the host's own storage path).
 	Writeback func(p *sim.Proc, f *hostos.File, page int, data []byte)
+}
+
+// cmdWaiter tracks one posted command. Unlike a one-shot Signal it
+// can resolve two ways — completion or watchdog timeout — so it uses
+// a condition variable the library call re-checks.
+type cmdWaiter struct {
+	done     bool
+	timedOut bool
+	res      Result
+	cond     *sim.Cond
 }
 
 // NewDriver builds the driver, allocating its host-memory interface
@@ -77,7 +113,7 @@ func NewDriver(env *sim.Env, host *hostos.Host, fs *hostos.FileSystem,
 	d := &Driver{
 		env: env, host: host, fs: fs, fab: fab, eng: eng, params: params,
 		slotFree: sim.NewCond(env),
-		waiting:  map[uint32]*sim.Signal{},
+		waiting:  map[uint32]*cmdWaiter{},
 	}
 	entries := eng.params.CmdQueueEntries
 	d.cplRing = mm.AddRegion("hdc-cpl-ring", mem.HostDRAM, uint64(entries*CplEntrySize)+64, true)
@@ -118,16 +154,31 @@ func (d *Driver) drainCompletions() {
 		}
 		aux := append([]byte(nil), raw[16:16+auxLen]...)
 		d.cplHead++
-		sig, ok := d.waiting[id]
+		w, ok := d.waiting[id]
 		if !ok {
-			panic(fmt.Sprintf("hdc: completion for unknown command %d", id))
+			// The watchdog abandoned this command and the engine
+			// completed it anyway; its slot was already reclaimed.
+			d.orphans++
+			continue
 		}
 		delete(d.waiting, id)
 		d.outstanding--
 		d.slotFree.Broadcast()
-		sig.Fire(Result{Status: status, Aux: aux})
+		w.done = true
+		w.res = Result{Status: status, Aux: aux}
+		w.cond.Broadcast()
 	}
 }
+
+// Failed reports whether the driver has declared the engine dead.
+func (d *Driver) Failed() bool { return d.failed }
+
+// Retries returns how many commands were re-issued after a transient
+// completion status.
+func (d *Driver) Retries() int64 { return d.retries }
+
+// Timeouts returns how many commands the watchdog abandoned.
+func (d *Driver) Timeouts() int64 { return d.timeouts }
 
 // Connect registers a TCP connection with the engine's NIC controller
 // (driver-side: the connection was established by the kernel stack;
@@ -138,12 +189,12 @@ func (d *Driver) Connect(id uint64, flow ether.Flow, txSeq, rxSeq uint32) {
 
 // post writes a built command into the engine's queue and rings the
 // tail doorbell. Caller charges CPU cost.
-func (d *Driver) post(p *sim.Proc, cmd Command) *sim.Signal {
+func (d *Driver) post(p *sim.Proc, cmd Command) *cmdWaiter {
 	for d.outstanding >= d.eng.params.CmdQueueEntries-1 {
 		d.slotFree.Wait(p)
 	}
-	sig := sim.NewSignal(d.env)
-	d.waiting[cmd.ID] = sig
+	w := &cmdWaiter{cond: sim.NewCond(d.env)}
+	d.waiting[cmd.ID] = w
 	d.outstanding++
 	slot := d.tail % uint64(d.eng.params.CmdQueueEntries)
 	enc := cmd.Encode()
@@ -158,7 +209,79 @@ func (d *Driver) post(p *sim.Proc, cmd Command) *sim.Signal {
 		binary.LittleEndian.PutUint64(b[:], tail)
 		d.fab.Mem().Write(d.eng.TailDoorbell(), b[:])
 	})
-	return sig
+	if d.params.CmdTimeout > 0 {
+		d.env.Schedule(d.params.CmdTimeout, func() {
+			if !w.done && !w.timedOut {
+				w.timedOut = true
+				w.cond.Broadcast()
+			}
+		})
+	}
+	return w
+}
+
+// await blocks the library call on a posted command's outcome —
+// completion or watchdog timeout — charging the context switch and
+// idle wait the way hostos.Host.BlockOnDevice does. A timed-out
+// command is abandoned: its queue slot is reclaimed and a late
+// completion is dropped as an orphan; it is never re-posted, so the
+// engine cannot execute it twice.
+func (d *Driver) await(p *sim.Proc, bd *trace.Breakdown, id uint32, w *cmdWaiter) (Result, bool) {
+	d.host.Exec(p, trace.CatInterrupt, d.host.Params.CtxSwitch, bd)
+	start := p.Now()
+	for !w.done && !w.timedOut {
+		w.cond.Wait(p)
+	}
+	if bd != nil {
+		bd.Add(trace.CatIdleWait, p.Now()-start)
+	}
+	if w.timedOut {
+		d.timeouts++
+		delete(d.waiting, id)
+		d.outstanding--
+		d.slotFree.Broadcast()
+		return Result{}, false
+	}
+	return w.res, true
+}
+
+// submit runs the post→await cycle with the driver's recovery policy:
+// a transient completion status is retried with a fresh command ID
+// after an exponential backoff (charged to trace.CatRetry), and a
+// watchdog timeout declares the engine failed. build constructs the
+// command for a given ID — called once per attempt so re-issues stage
+// their own extent-table slot and never alias an abandoned command.
+func (d *Driver) submit(p *sim.Proc, bd *trace.Breakdown, postCost sim.Time, build func(id uint32) (Command, error)) (Result, error) {
+	if d.failed {
+		return Result{}, ErrEngineFailed
+	}
+	backoff := d.params.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		id := d.nextID
+		d.nextID++
+		cmd, err := build(id)
+		if err != nil {
+			return Result{}, err
+		}
+		d.host.Exec(p, trace.CatHDCDriver, postCost, bd)
+		w := d.post(p, cmd)
+		res, ok := d.await(p, bd, id, w)
+		if !ok {
+			d.failed = true
+			return Result{}, ErrEngineFailed
+		}
+		if res.Status == CplStatusTransient && attempt < d.params.MaxRetries {
+			d.retries++
+			if bd != nil {
+				bd.Add(trace.CatRetry, backoff)
+			}
+			p.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		d.host.Exec(p, trace.CatHDCDriver, d.host.Params.SyscallExit, bd)
+		return res, nil
+	}
 }
 
 // stageExtents writes an extent table into the arena slot for a
@@ -195,8 +318,10 @@ func fileExtents(f *hostos.File, off, n int) ([]ExtentEntry, error) {
 }
 
 // prepare runs the driver's common preamble: syscall entry, metadata
-// and consistency work, command build. It returns the allocated ID.
-func (d *Driver) prepare(p *sim.Proc, bd *trace.Breakdown, f *hostos.File) uint32 {
+// and consistency work. Command IDs are allocated per attempt by
+// submit, so prepare runs exactly once per library call even when the
+// command is retried.
+func (d *Driver) prepare(p *sim.Proc, bd *trace.Breakdown, f *hostos.File) {
 	hp := d.host.Params
 	d.host.Exec(p, trace.CatHDCDriver, hp.SyscallEntry, bd)
 	d.host.Exec(p, trace.CatHDCDriver, d.params.MetadataLookup, bd)
@@ -212,18 +337,6 @@ func (d *Driver) prepare(p *sim.Proc, bd *trace.Breakdown, f *hostos.File) uint3
 			}
 		}
 	}
-	id := d.nextID
-	d.nextID++
-	return id
-}
-
-// finishCall blocks for the engine's completion and charges the
-// syscall exit.
-func (d *Driver) finishCall(p *sim.Proc, bd *trace.Breakdown, sig *sim.Signal) Result {
-	d.host.BlockOnDevice(p, sig, bd)
-	res := sig.Value().(Result)
-	d.host.Exec(p, trace.CatHDCDriver, d.host.Params.SyscallExit, bd)
-	return res
 }
 
 // SendFile is the HDC Library's sendfile-like call: transfer n bytes
@@ -243,23 +356,24 @@ func (d *Driver) SendFileDev(p *sim.Proc, bd *trace.Breakdown, dev uint8, f *hos
 // SendFileAux is SendFileDev with an NDP function argument (e.g. the
 // AES key slot provisioned with Engine.ProvisionAESKey).
 func (d *Driver) SendFileAux(p *sim.Proc, bd *trace.Breakdown, dev uint8, f *hostos.File, off, n int, connID uint64, fn uint8, aux uint64) (Result, error) {
-	id := d.prepare(p, bd, f)
+	d.prepare(p, bd, f)
 	ext, err := fileExtents(f, off, n)
 	if err != nil {
 		return Result{}, err
 	}
-	extAddr, err := d.stageExtents(id, ext)
-	if err != nil {
-		return Result{}, err
-	}
-	d.host.Exec(p, trace.CatHDCDriver, d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost, bd)
-	sig := d.post(p, Command{
-		ID: id, SrcClass: ClassSSD, DstClass: ClassNIC, Fn: fn,
-		Flags:  FlagAuxWriteback,
-		SrcArg: uint64(extAddr), SrcCount: uint32(len(ext)), SrcDev: dev,
-		DstArg: connID, Length: uint64(n), AuxData: aux,
-	})
-	return d.finishCall(p, bd, sig), nil
+	return d.submit(p, bd, d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost,
+		func(id uint32) (Command, error) {
+			extAddr, err := d.stageExtents(id, ext)
+			if err != nil {
+				return Command{}, err
+			}
+			return Command{
+				ID: id, SrcClass: ClassSSD, DstClass: ClassNIC, Fn: fn,
+				Flags:  FlagAuxWriteback,
+				SrcArg: uint64(extAddr), SrcCount: uint32(len(ext)), SrcDev: dev,
+				DstArg: connID, Length: uint64(n), AuxData: aux,
+			}, nil
+		})
 }
 
 // CopyFile moves n bytes between two files (possibly on different
@@ -269,7 +383,7 @@ func (d *Driver) SendFileAux(p *sim.Proc, bd *trace.Breakdown, dev uint8, f *hos
 func (d *Driver) CopyFile(p *sim.Proc, bd *trace.Breakdown,
 	srcDev uint8, srcF *hostos.File, srcOff int,
 	dstDev uint8, dstF *hostos.File, dstOff, n int, fn uint8) (Result, error) {
-	id := d.prepare(p, bd, srcF)
+	d.prepare(p, bd, srcF)
 	srcExt, err := fileExtents(srcF, srcOff, n)
 	if err != nil {
 		return Result{}, err
@@ -281,19 +395,20 @@ func (d *Driver) CopyFile(p *sim.Proc, bd *trace.Breakdown,
 	if len(srcExt) > 128 || len(dstExt) > 128 {
 		return Result{}, fmt.Errorf("hdc: copy with >128 extents per side (split the transfer)")
 	}
-	slot := uint64(id) % uint64(d.eng.params.CmdQueueEntries)
-	base := d.arena.Base + mem.Addr(slot*4096)
-	d.fab.Mem().Write(base, EncodeExtents(srcExt))
-	d.fab.Mem().Write(base+2048, EncodeExtents(dstExt))
-	d.host.Exec(p, trace.CatHDCDriver, d.params.CmdBuild+d.params.CmdPost, bd)
-	sig := d.post(p, Command{
-		ID: id, SrcClass: ClassSSD, DstClass: ClassSSD, Fn: fn,
-		Flags:  FlagAuxWriteback,
-		SrcArg: uint64(base), SrcCount: uint32(len(srcExt)), SrcDev: srcDev,
-		DstArg: uint64(base + 2048), DstCount: uint32(len(dstExt)), DstDev: dstDev,
-		Length: uint64(n),
-	})
-	return d.finishCall(p, bd, sig), nil
+	return d.submit(p, bd, d.params.CmdBuild+d.params.CmdPost,
+		func(id uint32) (Command, error) {
+			slot := uint64(id) % uint64(d.eng.params.CmdQueueEntries)
+			base := d.arena.Base + mem.Addr(slot*4096)
+			d.fab.Mem().Write(base, EncodeExtents(srcExt))
+			d.fab.Mem().Write(base+2048, EncodeExtents(dstExt))
+			return Command{
+				ID: id, SrcClass: ClassSSD, DstClass: ClassSSD, Fn: fn,
+				Flags:  FlagAuxWriteback,
+				SrcArg: uint64(base), SrcCount: uint32(len(srcExt)), SrcDev: srcDev,
+				DstArg: uint64(base + 2048), DstCount: uint32(len(dstExt)), DstDev: dstDev,
+				Length: uint64(n),
+			}, nil
+		})
 }
 
 // RecvFile receives n bytes from connection connID into file f at
@@ -304,34 +419,36 @@ func (d *Driver) RecvFile(p *sim.Proc, bd *trace.Breakdown, connID uint64, f *ho
 
 // RecvFileDev is RecvFile addressing a specific SSD.
 func (d *Driver) RecvFileDev(p *sim.Proc, bd *trace.Breakdown, connID uint64, dev uint8, f *hostos.File, off, n int, fn uint8) (Result, error) {
-	id := d.prepare(p, bd, f)
+	d.prepare(p, bd, f)
 	ext, err := fileExtents(f, off, n)
 	if err != nil {
 		return Result{}, err
 	}
-	extAddr, err := d.stageExtents(id, ext)
-	if err != nil {
-		return Result{}, err
-	}
-	d.host.Exec(p, trace.CatHDCDriver, d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost, bd)
-	sig := d.post(p, Command{
-		ID: id, SrcClass: ClassNIC, DstClass: ClassSSD, Fn: fn,
-		Flags:  FlagAuxWriteback,
-		SrcArg: connID, DstArg: uint64(extAddr), DstCount: uint32(len(ext)), DstDev: dev,
-		Length: uint64(n),
-	})
-	return d.finishCall(p, bd, sig), nil
+	return d.submit(p, bd, d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost,
+		func(id uint32) (Command, error) {
+			extAddr, err := d.stageExtents(id, ext)
+			if err != nil {
+				return Command{}, err
+			}
+			return Command{
+				ID: id, SrcClass: ClassNIC, DstClass: ClassSSD, Fn: fn,
+				Flags:  FlagAuxWriteback,
+				SrcArg: connID, DstArg: uint64(extAddr), DstCount: uint32(len(ext)), DstDev: dev,
+				Length: uint64(n),
+			}, nil
+		})
 }
 
 // Forward moves n bytes from one connection to another through the
 // engine (network-to-network, e.g. proxying with re-encryption).
 func (d *Driver) Forward(p *sim.Proc, bd *trace.Breakdown, srcConn, dstConn uint64, n int, fn uint8) (Result, error) {
-	id := d.prepare(p, bd, nil)
-	d.host.Exec(p, trace.CatHDCDriver, 2*d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost, bd)
-	sig := d.post(p, Command{
-		ID: id, SrcClass: ClassNIC, DstClass: ClassNIC, Fn: fn,
-		Flags:  FlagAuxWriteback,
-		SrcArg: srcConn, DstArg: dstConn, Length: uint64(n),
-	})
-	return d.finishCall(p, bd, sig), nil
+	d.prepare(p, bd, nil)
+	return d.submit(p, bd, 2*d.params.ConnLookup+d.params.CmdBuild+d.params.CmdPost,
+		func(id uint32) (Command, error) {
+			return Command{
+				ID: id, SrcClass: ClassNIC, DstClass: ClassNIC, Fn: fn,
+				Flags:  FlagAuxWriteback,
+				SrcArg: srcConn, DstArg: dstConn, Length: uint64(n),
+			}, nil
+		})
 }

@@ -3,8 +3,10 @@ package hdc
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"dcsctrl/internal/ether"
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/fpga"
 	"dcsctrl/internal/mem"
 	"dcsctrl/internal/ndp"
@@ -14,6 +16,19 @@ import (
 	"dcsctrl/internal/sim"
 	"dcsctrl/internal/trace"
 )
+
+// Completion statuses the engine writes to the host completion ring.
+// Transient means the command was rejected before any data moved —
+// the driver may re-issue it idempotently.
+const (
+	CplStatusOK        uint32 = 0
+	CplStatusInvalid   uint32 = 1
+	CplStatusTransient uint32 = 2
+)
+
+// engineStallDelay is the injected transient parser hang — long
+// enough to show up in latency, far below any sane driver timeout.
+const engineStallDelay = 50 * sim.Microsecond
 
 // Params are the HDC Engine's hardware timing and sizing parameters
 // (FPGA logic at 250 MHz; DDR3-1600 on-board memory).
@@ -36,6 +51,10 @@ type Params struct {
 	DDR3Bytes  uint64 // modelled slice of the 1 GB on-board DRAM
 	ChunkCount int    // 64 KB intermediate buffers
 	RecvBufs   int    // 2 KB packet receive buffers
+
+	// Faults injects engine stalls, poisoned completion entries, and
+	// hard engine failure; nil disables injection.
+	Faults *fault.Injector
 }
 
 // DefaultParams return the prototype's configuration.
@@ -126,6 +145,7 @@ type Engine struct {
 	extBufs   []mem.Addr // per-command-slot extent staging
 
 	cmdsDone int64
+	dead     bool // parser suffered a hard failure; no command makes progress
 
 	tracing bool
 	traces  map[uint32]*CmdTrace
@@ -305,12 +325,28 @@ func (e *Engine) onCmdqWrite(off uint64, n int) {
 	}
 }
 
+// Failed reports whether the engine suffered an injected hard
+// failure: the parser stopped and queued commands never complete.
+func (e *Engine) Failed() bool { return e.dead }
+
 // parserLoop is the command parser of §IV-C: it decodes queued D2D
 // commands in order and admits them to the scoreboard pipeline.
+//
+// Fault injection models two parser failure modes: a transient stall
+// (recovered by waiting) and a hard failure that stops the loop for
+// good — queued commands then never complete and the driver's command
+// timeout is the only way out.
 func (e *Engine) parserLoop(p *sim.Proc) {
 	for {
 		for e.cmdHead == e.cmdTail {
 			e.cmdKick.Wait(p)
+		}
+		if e.params.Faults.Hit(fault.HDCEngineFail) {
+			e.dead = true
+			return
+		}
+		if e.params.Faults.Hit(fault.HDCEngineStall) {
+			p.Sleep(engineStallDelay)
 		}
 		slot := e.cmdHead % uint64(e.params.CmdQueueEntries)
 		raw := make([]byte, CommandSize)
@@ -323,7 +359,7 @@ func (e *Engine) parserLoop(p *sim.Proc) {
 		}
 		e.submitted = append(e.submitted, cmd.ID)
 		if err != nil {
-			e.finish(cmd.ID, 1, nil)
+			e.finish(cmd.ID, CplStatusInvalid, nil)
 			e.mirrorHead(p)
 			continue
 		}
@@ -418,6 +454,39 @@ func (e *Engine) RegisterConnection(id uint64, flow ether.Flow, txSeq, rxSeq uin
 	ctl.RegisterConnection(id, flow, txSeq, rxSeq)
 }
 
+// AdoptedConn is one connection's salvaged state after an engine
+// failure: TCP flow, sequence positions, and any receive bytes that
+// were buffered in engine DDR3 but not yet consumed by a command.
+type AdoptedConn struct {
+	ID           uint64
+	Flow         ether.Flow
+	TxSeq, RxSeq uint32
+	Buffered     []byte
+}
+
+// AdoptConnections drains every registered connection out of the
+// engine's NIC controllers — the graceful-degradation step after a
+// hard engine failure. Connections are returned in ascending ID
+// order so fail-over is deterministic.
+func (e *Engine) AdoptConnections() []AdoptedConn {
+	ids := make([]uint64, 0, len(e.connOwner))
+	for id := range e.connOwner {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []AdoptedConn
+	for _, id := range ids {
+		ctl := e.connOwner[id]
+		flow, txSeq, rxSeq, buffered, ok := ctl.DrainConn(id)
+		if !ok {
+			continue
+		}
+		delete(e.connOwner, id)
+		out = append(out, AdoptedConn{ID: id, Flow: flow, TxSeq: txSeq, RxSeq: rxSeq, Buffered: buffered})
+	}
+	return out
+}
+
 // EnableTracing records per-command milestone stamps.
 func (e *Engine) EnableTracing() { e.tracing = true }
 
@@ -449,6 +518,7 @@ func (e *Engine) Counters() *trace.Counter {
 	c.Inc("sb-done", done)
 	for i, ctl := range e.nvmeCtls {
 		c.Inc(fmt.Sprintf("nvme%d-cmds", i), ctl.cmds)
+		c.Inc(fmt.Sprintf("nvme%d-retries", i), ctl.retries)
 	}
 	for i, ctl := range e.nicCtls {
 		c.Inc(fmt.Sprintf("nic%d-send-jobs", i), ctl.sendJobs)

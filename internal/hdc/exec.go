@@ -3,6 +3,7 @@ package hdc
 import (
 	"fmt"
 
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/mem"
 	"dcsctrl/internal/nvme"
 	"dcsctrl/internal/sim"
@@ -90,6 +91,14 @@ func (e *Engine) fetchExtents(p *sim.Proc, cmdID uint32, addr uint64, count uint
 // source device → optional NDP unit → destination device, chunk by
 // chunk with a bounded in-flight window.
 func (e *Engine) execute(p *sim.Proc, cmd Command) {
+	if e.params.Faults.Hit(fault.HDCPoisonCpl) {
+		// Pipeline parity error detected at admission: the completion
+		// entry is poisoned with a transient status before any device
+		// command is issued or stream byte consumed, so the driver's
+		// re-issue of the same command is idempotent.
+		e.finish(cmd.ID, CplStatusTransient, nil)
+		return
+	}
 	var rec *CmdTrace
 	if e.tracing {
 		rec = &CmdTrace{Posted: p.Now()}
@@ -99,28 +108,28 @@ func (e *Engine) execute(p *sim.Proc, cmd Command) {
 	var err error
 	if cmd.SrcClass == ClassSSD {
 		if srcExt, err = e.fetchExtents(p, cmd.ID, cmd.SrcArg, cmd.SrcCount); err != nil {
-			e.finish(cmd.ID, 1, nil)
+			e.finish(cmd.ID, CplStatusInvalid, nil)
 			return
 		}
 	}
 	if cmd.DstClass == ClassSSD {
 		if dstExt, err = e.fetchExtents(p, cmd.ID, cmd.DstArg, cmd.DstCount); err != nil {
-			e.finish(cmd.ID, 1, nil)
+			e.finish(cmd.ID, CplStatusInvalid, nil)
 			return
 		}
 	}
 	if cmd.Fn != FnNone {
 		if _, ok := e.banks[cmd.Fn]; !ok {
-			e.finish(cmd.ID, 1, nil)
+			e.finish(cmd.ID, CplStatusInvalid, nil)
 			return
 		}
 	}
 	if cmd.SrcClass == ClassSSD && int(cmd.SrcDev) >= len(e.nvmeCtls) {
-		e.finish(cmd.ID, 1, nil)
+		e.finish(cmd.ID, CplStatusInvalid, nil)
 		return
 	}
 	if cmd.DstClass == ClassSSD && int(cmd.DstDev) >= len(e.nvmeCtls) {
-		e.finish(cmd.ID, 1, nil)
+		e.finish(cmd.ID, CplStatusInvalid, nil)
 		return
 	}
 
@@ -149,7 +158,7 @@ func (e *Engine) execute(p *sim.Proc, cmd Command) {
 	if rec != nil {
 		rec.Done = p.Now()
 	}
-	e.finish(cmd.ID, 0, aux)
+	e.finish(cmd.ID, CplStatusOK, aux)
 }
 
 // sourceStage produces chunks: NVMe reads (overlapped up to the

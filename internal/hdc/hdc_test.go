@@ -516,9 +516,12 @@ func TestInvalidCommandCompletesWithError(t *testing.T) {
 	var res Result
 	tb.env.Spawn("app", func(p *sim.Proc) {
 		// Zero-length transfer: rejected by the parser.
-		sig := tb.drv.post(p, Command{ID: 999, SrcClass: ClassSSD, DstClass: ClassNIC, SrcCount: 1, Length: 0})
+		w := tb.drv.post(p, Command{ID: 999, SrcClass: ClassSSD, DstClass: ClassNIC, SrcCount: 1, Length: 0})
 		tb.drv.nextID = 1000
-		res = sig.Wait(p).(Result)
+		for !w.done {
+			w.cond.Wait(p)
+		}
+		res = w.res
 	})
 	tb.env.Run(-1)
 	if res.Status == 0 {

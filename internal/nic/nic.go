@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dcsctrl/internal/ether"
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/mem"
 	"dcsctrl/internal/pcie"
 	"dcsctrl/internal/sim"
@@ -17,7 +18,18 @@ type Params struct {
 	RxOverhead sim.Time // per-frame receive pipeline cost (per queue)
 	RxDemux    sim.Time // per-frame parse/steer cost in the shared stage
 	BDFetch    sim.Time // descriptor fetch/decode cost
+	// Faults injects wire corruption and stuck descriptor fetches;
+	// nil disables injection.
+	Faults *fault.Injector
 }
+
+// Fault-recovery timing: a stuck descriptor fetch is re-read after a
+// recovery delay; frameReplayCap bounds back-to-back corruptions of
+// one frame so transmission always terminates.
+const (
+	stuckBDRecovery = 2 * sim.Microsecond
+	frameReplayCap  = 8
+)
 
 // DefaultParams return 10-GbE defaults.
 func DefaultParams() Params {
@@ -123,6 +135,8 @@ type NIC struct {
 	txFrames, rxFrames   int64
 	txPayload, rxPayload int64
 	drops, rxErrors      int64
+	txReplays            int64 // wire corruptions replayed by the link layer
+	bdRefetches          int64 // stuck descriptor fetches re-read
 
 	// RxPerQueue counts delivered frames per queue (diagnostics).
 	RxPerQueue map[uint16]int64
@@ -167,20 +181,38 @@ type outFrame struct {
 const txFIFOCap = 64
 
 // txWireLoop drains built frames onto the wire at line rate.
+//
+// Under fault injection a frame may be corrupted on the wire: the
+// corrupted copy is still delivered (the receiver's checksum check
+// drops it and counts an rxError) and the link layer retransmits the
+// original after a NAK round trip. Replays happen here, before the
+// next frame is taken from the FIFO, so per-link FIFO delivery order
+// is preserved — receivers never see reordering, only latency.
 func (n *NIC) txWireLoop(p *sim.Proc) {
 	for {
 		f := n.txFIFO.Get(p)
 		n.txSpace.Broadcast()
-		n.txBW.Transfer(p, f.wireLen)
-		n.txFrames++
-		n.txPayload += int64(f.payLen)
-		peer := n.peer
-		if peer == nil {
-			n.drops++
-			continue
+		for attempt := 0; ; attempt++ {
+			n.txBW.Transfer(p, f.wireLen)
+			n.txFrames++
+			peer := n.peer
+			if peer == nil {
+				n.drops++
+				break
+			}
+			if attempt < frameReplayCap && n.params.Faults.Hit(fault.NICCorruptFrame) {
+				n.txReplays++
+				bad := append([]byte(nil), f.frame...)
+				bad[len(bad)-1] ^= 0xFF // breaks the TCP checksum
+				n.env.Schedule(n.params.PropDelay, func() { peer.rxQ.Put(bad) })
+				p.Sleep(2 * n.params.PropDelay) // NAK round trip
+				continue
+			}
+			n.txPayload += int64(f.payLen)
+			frame := f.frame
+			n.env.Schedule(n.params.PropDelay, func() { peer.rxQ.Put(frame) })
+			break
 		}
-		frame := f.frame
-		n.env.Schedule(n.params.PropDelay, func() { peer.rxQ.Put(frame) })
 	}
 }
 
@@ -190,6 +222,12 @@ func (n *NIC) Port() *pcie.Port { return n.port }
 // Stats returns frame/byte/drop counters.
 func (n *NIC) Stats() (txFrames, rxFrames, txPayload, rxPayload, drops, rxErrors int64) {
 	return n.txFrames, n.rxFrames, n.txPayload, n.rxPayload, n.drops, n.rxErrors
+}
+
+// RecoveryStats returns the fault-recovery counters: frames replayed
+// after wire corruption and descriptors re-fetched after a stuck read.
+func (n *NIC) RecoveryStats() (txReplays, bdRefetches int64) {
+	return n.txReplays, n.bdRefetches
 }
 
 // Connect wires two NICs back-to-back (the paper's two-node setup).
@@ -307,6 +345,13 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 			bdAddr := q.cfg.SendRing.Base + mem.Addr(slot*SendBDSize)
 			n.fab.MustDMA(p, n.port, q.scratch, bdAddr, SendBDSize)
 			p.Sleep(n.params.BDFetch)
+			if n.params.Faults.Hit(fault.NICStuckBD) {
+				// Stale descriptor read: re-fetch after a recovery delay.
+				n.bdRefetches++
+				p.Sleep(stuckBDRecovery)
+				n.fab.MustDMA(p, n.port, q.scratch, bdAddr, SendBDSize)
+				p.Sleep(n.params.BDFetch)
+			}
 			bd, err := DecodeSendBD(mm.Read(q.scratch, SendBDSize))
 			if err != nil {
 				panic(err) // corrupted ring memory is a modelling bug

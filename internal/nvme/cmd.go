@@ -83,13 +83,24 @@ func DecodeCommand(b []byte) (Command, error) {
 	}, nil
 }
 
-// Status codes (generic command status).
+// Status codes (generic command status, plus the media-error status
+// of the media-errors status-code type).
 const (
 	StatusSuccess     uint16 = 0x0
 	StatusInvalidOp   uint16 = 0x1
 	StatusInvalidPRP  uint16 = 0x13
 	StatusInternalErr uint16 = 0x6
+	// StatusMediaErr is an uncorrectable media error (SCT 2h, SC 81h
+	// packed into the 8-bit-status convention the testbed uses). The
+	// command failed on this attempt but did not move or corrupt
+	// data, so re-issuing it is safe.
+	StatusMediaErr uint16 = 0x81
 )
+
+// Retryable reports whether a completion status is transient: the
+// command may succeed if re-issued. Protocol errors (bad opcode, bad
+// PRP) are deterministic and never retried.
+func Retryable(status uint16) bool { return status == StatusMediaErr }
 
 // Completion is a decoded NVMe completion queue entry.
 type Completion struct {

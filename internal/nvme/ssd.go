@@ -3,6 +3,7 @@ package nvme
 import (
 	"fmt"
 
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/mem"
 	"dcsctrl/internal/pcie"
 	"dcsctrl/internal/sim"
@@ -17,6 +18,9 @@ type Params struct {
 	WriteBps     float64  // internal write bandwidth (7.2 Gbps)
 	Channels     int      // concurrently executing commands
 	CmdDecode    sim.Time // on-device command decode/setup
+	// Faults injects media errors (uncorrectable reads, failed
+	// programs) reported via CQ status; nil disables injection.
+	Faults *fault.Injector
 }
 
 // DefaultParams return the Intel 750-calibrated values.
@@ -214,6 +218,11 @@ func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
 	if cmd.Opcode == OpRead {
 		// Media access: latency once, bandwidth for the span.
 		p.Sleep(s.params.ReadLatency)
+		if s.params.Faults.Hit(fault.NVMeReadError) {
+			// Uncorrectable ECC on this access: fail before any data
+			// leaves the device. A retry re-reads the media.
+			return StatusMediaErr
+		}
 		s.readBW.Transfer(p, n)
 		for i := 0; i < cmd.Blocks(); i++ {
 			s.fab.Mem().Write(slot+mem.Addr(i*BlockSize), s.readBlock(cmd.SLBA+uint64(i)))
@@ -227,6 +236,11 @@ func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
 			return StatusInvalidPRP
 		}
 		p.Sleep(s.params.WriteLatency)
+		if s.params.Faults.Hit(fault.NVMeWriteError) {
+			// Program failure before commit: flash is untouched, so
+			// re-issuing the write is idempotent.
+			return StatusMediaErr
+		}
 		s.writeBW.Transfer(p, n)
 		for i := 0; i < cmd.Blocks(); i++ {
 			s.flash[cmd.SLBA+uint64(i)] = s.fab.Mem().Read(slot+mem.Addr(i*BlockSize), BlockSize)

@@ -15,8 +15,19 @@ package pcie
 import (
 	"fmt"
 
+	"dcsctrl/internal/fault"
 	"dcsctrl/internal/mem"
 	"dcsctrl/internal/sim"
+)
+
+// Fault-recovery timing: a dropped posted write is redelivered by the
+// data-link layer's ACK/NAK replay after the replay timer; a delayed
+// one sits in a congested switch queue; a degraded link stalls a DMA
+// while retraining.
+const (
+	replayTimeout    = 3 * sim.Microsecond
+	congestionDelay  = 1 * sim.Microsecond
+	linkRetrainStall = 5 * sim.Microsecond
 )
 
 // Params are fabric timing/bandwidth parameters.
@@ -35,6 +46,9 @@ type Params struct {
 	// CoreBps is the switch core's aggregate bandwidth (80 Gbps on
 	// the Cyclone PCIe2-2707).
 	CoreBps float64
+	// Faults injects transport-level faults (delayed/dropped posted
+	// writes, link degradation); nil disables injection.
+	Faults *fault.Injector
 }
 
 // DefaultParams mirror the evaluation platform (Table V).
@@ -78,6 +92,13 @@ type Fabric struct {
 
 	p2pBytes  int64 // device-to-device payload bytes (never via host DRAM)
 	hostBytes int64 // payload bytes with host DRAM as one endpoint
+
+	// postedClock is the delivery time of the latest posted write.
+	// PCIe posted writes are strictly ordered, so a delayed or
+	// replayed TLP head-of-line blocks every later posted write —
+	// without this a delayed command-slot write could be overtaken
+	// by its own doorbell.
+	postedClock sim.Time
 }
 
 // NewFabric returns a fabric over the given address map.
@@ -196,6 +217,9 @@ func (f *Fabric) DMA(p *sim.Proc, initiator *Port, dst, src mem.Addr, n int) err
 	// transactions on disjoint links pipeline freely — no transfer
 	// ever holds one link while waiting for another (which would
 	// convoy the whole fabric).
+	if f.params.Faults.Hit(fault.PCIeLinkDegrade) {
+		p.Sleep(linkRetrainStall)
+	}
 	p.Sleep(f.params.DMASetup)
 	srcPort.up.Transfer(p, n)
 	f.core.Transfer(p, n)
@@ -255,8 +279,24 @@ func (f *Fabric) CheckPath(initiator *Port, a, b mem.Addr) error {
 // PostedWrite delivers a small write (a doorbell ring) to addr after
 // the MMIO latency. It does not block the caller: posted writes
 // complete from the initiator's point of view immediately.
+//
+// Under fault injection the TLP may be delayed (switch congestion) or
+// dropped and replayed by the data-link layer — both only add
+// delivery latency; posted writes are never lost for good, matching
+// PCIe's ACK/NAK guarantee.
 func (f *Fabric) PostedWrite(addr mem.Addr, val uint64) {
-	f.env.Schedule(f.params.MMIOLatency, func() {
+	delay := f.params.MMIOLatency
+	if f.params.Faults.Hit(fault.PCIeDropPosted) {
+		delay += replayTimeout
+	} else if f.params.Faults.Hit(fault.PCIeDelayPosted) {
+		delay += congestionDelay
+	}
+	deliverAt := f.env.Now() + delay
+	if deliverAt < f.postedClock {
+		deliverAt = f.postedClock
+	}
+	f.postedClock = deliverAt
+	f.env.Schedule(deliverAt-f.env.Now(), func() {
 		var b [8]byte
 		putLE64(b[:], val)
 		f.mem.Write(addr, b[:])

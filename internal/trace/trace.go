@@ -36,6 +36,8 @@ const (
 	CatPageCache   Category = "page-cache"   // stock-kernel page cache management
 	CatSockBuf     Category = "sock-buf"     // stock-kernel socket buffer management
 	CatIdleWait    Category = "wait"         // time blocked on devices (latency only)
+	CatRetry       Category = "retry"        // backoff + re-issue after a device fault
+	CatFallback    Category = "fallback"     // host-mediated path after engine failure
 )
 
 // CPUAccount accumulates per-category core busy time. One account
