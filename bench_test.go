@@ -10,6 +10,7 @@
 package dcsctrl_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -216,4 +217,23 @@ func BenchmarkSizeSweep(b *testing.B) {
 	}
 	b.ReportMetric(sw.Reduction(0)*100, "reduction-4KB-%")
 	b.ReportMetric(sw.Reduction(len(sw.Sizes)-1)*100, "reduction-1MB-%")
+}
+
+// BenchmarkSweepParallel runs the full size sweep with the worker pool
+// at 1, 2, 4, and 8 workers. ns/op across the sub-benchmarks is the
+// wall-clock scaling curve of the parallel runner; on a multi-core
+// machine ns/op should drop roughly linearly until workers exceed
+// independent trial cells or physical cores. Results are asserted
+// byte-identical to serial elsewhere (TestParallelSweepEquivalence).
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var sw bench.SizeSweep
+			for i := 0; i < b.N; i++ {
+				sw = bench.RunSizeSweepParallel(core.ProcNone, workers)
+			}
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(sw.Reduction(0)*100, "reduction-4KB-%")
+		})
+	}
 }

@@ -4,15 +4,23 @@
 //
 // Usage:
 //
-//	dcsbench            # run everything
+//	dcsbench                  # run everything, serially
+//	dcsbench -parallel 8      # fan independent trial cells over 8 workers
 //	dcsbench -only fig11a,table4
-//	dcsbench -list      # show available experiment ids
+//	dcsbench -list            # show available experiment ids
+//	dcsbench -benchjson BENCH_kernel.json   # emit kernel + wall-time perf report
+//	dcsbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Experiment output is byte-identical at every -parallel value:
+// results are keyed by trial-cell index, never by completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dcsctrl/internal/bench"
@@ -21,12 +29,16 @@ import (
 var experiments = []string{
 	"table1", "table2", "table3", "table4",
 	"fig2", "fig3", "fig8", "fig11a", "fig11b", "fig12", "fig13", "fig13sim", "sweep",
-	"headlines",
+	"faults", "headlines",
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 1, "worker goroutines per experiment (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
+	benchjson := flag.String("benchjson", "", "write a kernel+wall-time perf report (BENCH_kernel.json) to this file")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +66,37 @@ func main() {
 			want[e] = true
 		}
 	}
+	workers := bench.Workers(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// The perf report runs the kernel microbenchmarks up front (before
+	// any experiment warms the heap) and then accumulates per-figure
+	// wall times as the experiments run.
+	var perf *bench.PerfReport
+	timed := func(name string, fn func()) {
+		if perf != nil {
+			perf.Time(name, fn)
+		} else {
+			fn()
+		}
+	}
+	if *benchjson != "" {
+		perf = bench.NewPerfReport(workers)
+	}
+
 	w := os.Stdout
 
 	if want["table1"] {
@@ -72,21 +115,21 @@ func main() {
 		bench.RenderTimeline(w, bench.Figure2Timeline())
 	}
 	if want["fig3"] {
-		bench.RunFigure3().Render(w)
+		timed("fig3", func() { bench.RunFigure3Parallel(workers).Render(w) })
 	}
 	if want["fig8"] {
-		bench.RunFigure8().Render(w)
+		timed("fig8", func() { bench.RunFigure8Parallel(workers).Render(w) })
 	}
 
 	var f11a, f11b bench.Figure11
 	if want["fig11a"] || want["headlines"] {
-		f11a = bench.Figure11a()
+		timed("fig11a", func() { f11a = bench.Figure11aParallel(workers) })
 		if want["fig11a"] {
 			f11a.Render(w)
 		}
 	}
 	if want["fig11b"] || want["headlines"] {
-		f11b = bench.Figure11b()
+		timed("fig11b", func() { f11b = bench.Figure11bParallel(workers) })
 		if want["fig11b"] {
 			f11b.Render(w)
 		}
@@ -95,7 +138,9 @@ func main() {
 	var f12 bench.Figure12
 	var f13 bench.Figure13
 	if want["fig12"] || want["fig13"] || want["headlines"] {
-		f12 = bench.RunFigure12(bench.DefaultFig12Swift(), bench.DefaultFig12HDFS())
+		timed("fig12", func() {
+			f12 = bench.RunFigure12Parallel(bench.DefaultFig12Swift(), bench.DefaultFig12HDFS(), workers)
+		})
 		if want["fig12"] {
 			f12.Render(w)
 		}
@@ -105,13 +150,41 @@ func main() {
 		}
 	}
 	if want["fig13sim"] {
-		bench.RunFigure13Sim().Render(w)
+		timed("fig13sim", func() { bench.RunFigure13SimParallel(workers).Render(w) })
 	}
 	if want["sweep"] {
-		bench.RunSizeSweep(0).Render(w) // ProcNone
-		bench.RunSizeSweep(bench.ProcMD5).Render(w)
+		timed("sweep", func() {
+			bench.RunSizeSweepParallel(0, workers).Render(w) // ProcNone
+			bench.RunSizeSweepParallel(bench.ProcMD5, workers).Render(w)
+		})
+	}
+	if want["faults"] {
+		timed("faults", func() { bench.RunFaultMatrixParallel(workers).Render(w) })
 	}
 	if want["headlines"] {
 		bench.Headlines(f11a, f11b, f12, f13).Render(w)
+	}
+
+	if perf != nil {
+		perf.CompareSweep(workers)
+		if err := perf.WriteJSON(*benchjson); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcsbench: wrote perf report to %s\n", *benchjson)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -62,22 +62,36 @@ type Figure11 struct {
 
 // Figure11a runs the SSD→NIC microbenchmark.
 func Figure11a() Figure11 {
-	return figure11("Figure 11a: latency breakdown, SSD->NIC (4 KB)", core.ProcNone)
+	return Figure11aParallel(1)
+}
+
+// Figure11aParallel runs Figure 11a's config cells across workers.
+func Figure11aParallel(workers int) Figure11 {
+	return figure11("Figure 11a: latency breakdown, SSD->NIC (4 KB)", core.ProcNone, workers)
 }
 
 // Figure11b runs the SSD→Processing→NIC microbenchmark (MD5).
 func Figure11b() Figure11 {
-	return figure11("Figure 11b: latency breakdown, SSD->MD5->NIC (4 KB)", core.ProcMD5)
+	return Figure11bParallel(1)
 }
 
-func figure11(title string, proc core.Processing) Figure11 {
+// Figure11bParallel runs Figure 11b's config cells across workers.
+func Figure11bParallel(workers int) Figure11 {
+	return figure11("Figure 11b: latency breakdown, SSD->MD5->NIC (4 KB)", core.ProcMD5, workers)
+}
+
+func figure11(title string, proc core.Processing, workers int) Figure11 {
 	f := Figure11{
 		Title:   title,
 		Configs: []core.Config{core.SWOpt, core.SWP2P, core.DCSCtrl},
 		Results: map[core.Config]core.OpResult{},
 	}
-	for _, k := range f.Configs {
-		f.Results[k] = microbench(k, MicrobenchSize, proc)
+	results := make([]core.OpResult, len(f.Configs))
+	ParallelFor(len(f.Configs), workers, func(i int) {
+		results[i] = microbench(f.Configs[i], MicrobenchSize, proc)
+	})
+	for i, k := range f.Configs {
+		f.Results[k] = results[i]
 	}
 	p2p := f.Results[core.SWP2P].Latency.Seconds()
 	dcs := f.Results[core.DCSCtrl].Latency.Seconds()
@@ -108,12 +122,24 @@ type Figure3 struct {
 
 // RunFigure3 executes the motivation microbenchmark.
 func RunFigure3() Figure3 {
+	return RunFigure3Parallel(1)
+}
+
+// RunFigure3Parallel executes the motivation microbenchmark's config
+// cells across up to workers goroutines.
+func RunFigure3Parallel(workers int) Figure3 {
 	f := Figure3{
 		Configs: []core.Config{core.SWOpt, core.SWP2P, core.DevIntegration},
 		Lat:     map[core.Config]core.OpResult{},
 		CPU:     map[core.Config]sim.Time{},
 	}
-	for _, k := range f.Configs {
+	type cellOut struct {
+		res core.OpResult
+		cpu sim.Time
+	}
+	out := make([]cellOut, len(f.Configs))
+	ParallelFor(len(f.Configs), workers, func(i int) {
+		k := f.Configs[i]
 		env := sim.NewEnv()
 		cl := core.NewCluster(env, k, core.DefaultParams())
 		content := make([]byte, MicrobenchSize)
@@ -127,8 +153,11 @@ func RunFigure3() Figure3 {
 		})
 		env.Spawn("client", func(p *sim.Proc) { cl.ClientRecv(p, conn, 2*MicrobenchSize) })
 		env.Run(-1)
-		f.Lat[k] = res
-		f.CPU[k] = cl.Server.Host.Acct.TotalBusy()
+		out[i] = cellOut{res: res, cpu: cl.Server.Host.Acct.TotalBusy()}
+	})
+	for i, k := range f.Configs {
+		f.Lat[k] = out[i].res
+		f.CPU[k] = out[i].cpu
 	}
 	return f
 }
@@ -165,6 +194,12 @@ type Figure8 struct {
 // RunFigure8 executes the kernel-overhead comparison: a fixed batch
 // of 64 KB SSD→NIC transfers per configuration.
 func RunFigure8() Figure8 {
+	return RunFigure8Parallel(1)
+}
+
+// RunFigure8Parallel executes the kernel-overhead comparison's config
+// cells across up to workers goroutines.
+func RunFigure8Parallel(workers int) Figure8 {
 	f := Figure8{
 		Configs: []core.Config{core.Vanilla, core.SWOpt, core.DCSCtrl},
 		Busy:    map[core.Config]map[trace.Category]sim.Time{},
@@ -172,7 +207,13 @@ func RunFigure8() Figure8 {
 	}
 	const ops = 20
 	const size = 64 << 10
-	for _, k := range f.Configs {
+	type cellOut struct {
+		busy   map[trace.Category]sim.Time
+		window sim.Time
+	}
+	out := make([]cellOut, len(f.Configs))
+	ParallelFor(len(f.Configs), workers, func(i int) {
+		k := f.Configs[i]
 		env := sim.NewEnv()
 		cl := core.NewCluster(env, k, core.DefaultParams())
 		content := make([]byte, size)
@@ -194,9 +235,12 @@ func RunFigure8() Figure8 {
 			}
 			busy[cat] = cl.Server.Host.Acct.Busy(cat)
 		}
-		f.Busy[k] = busy
-		if win := cl.Server.Host.Acct.Window(); win > f.Window {
-			f.Window = win
+		out[i] = cellOut{busy: busy, window: cl.Server.Host.Acct.Window()}
+	})
+	for i, k := range f.Configs {
+		f.Busy[k] = out[i].busy
+		if out[i].window > f.Window {
+			f.Window = out[i].window
 		}
 	}
 	return f
@@ -226,28 +270,41 @@ var Fig12Configs = []core.Config{core.SWOpt, core.SWP2P, core.DCSCtrl}
 
 // RunFigure12 executes both applications on every design.
 func RunFigure12(swiftCfg apps.SwiftConfig, hdfsCfg apps.HDFSConfig) Figure12 {
+	return RunFigure12Parallel(swiftCfg, hdfsCfg, 1)
+}
+
+// RunFigure12Parallel fans the experiment's application×config cells
+// (Swift and HDFS on every design, six independent clusters) across
+// up to workers goroutines.
+func RunFigure12Parallel(swiftCfg apps.SwiftConfig, hdfsCfg apps.HDFSConfig, workers int) Figure12 {
 	f := Figure12{
 		Swift: map[core.Config]apps.SwiftResult{},
 		HDFS:  map[core.Config]apps.HDFSResult{},
 		Cores: core.DefaultParams().Host.Cores,
 	}
-	for _, k := range Fig12Configs {
+	n := len(Fig12Configs)
+	swiftOut := make([]apps.SwiftResult, n)
+	hdfsOut := make([]apps.HDFSResult, n)
+	errs := make([]error, 2*n)
+	ParallelFor(2*n, workers, func(i int) {
+		k := Fig12Configs[i%n]
 		env := sim.NewEnv()
-		cl := core.NewCluster(env, k, core.DefaultParams())
-		res, err := apps.RunSwift(env, cl, swiftCfg)
+		if i < n {
+			cl := core.NewCluster(env, k, core.DefaultParams())
+			swiftOut[i], errs[i] = apps.RunSwift(env, cl, swiftCfg)
+		} else {
+			cl := core.NewClusterWithClient(env, k, k, core.DefaultParams())
+			hdfsOut[i-n], errs[i] = apps.RunHDFS(env, cl, hdfsCfg)
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			panic(err)
 		}
-		f.Swift[k] = res
 	}
-	for _, k := range Fig12Configs {
-		env := sim.NewEnv()
-		cl := core.NewClusterWithClient(env, k, k, core.DefaultParams())
-		res, err := apps.RunHDFS(env, cl, hdfsCfg)
-		if err != nil {
-			panic(err)
-		}
-		f.HDFS[k] = res
+	for i, k := range Fig12Configs {
+		f.Swift[k] = swiftOut[i]
+		f.HDFS[k] = hdfsOut[i]
 	}
 	if p2p := f.Swift[core.SWP2P]; p2p.ServerCPU > 0 {
 		f.CPUReduction = 1 - f.Swift[core.DCSCtrl].ServerCPU/p2p.ServerCPU

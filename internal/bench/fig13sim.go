@@ -100,16 +100,28 @@ func fig13Stream(kind core.Config, params core.Params) float64 {
 
 // RunFigure13Sim executes the saturation measurement.
 func RunFigure13Sim() Figure13Sim {
+	return RunFigure13SimParallel(1)
+}
+
+// RunFigure13SimParallel fans the fabric×config saturation cells
+// across up to workers goroutines.
+func RunFigure13SimParallel(workers int) Figure13Sim {
 	out := Figure13Sim{
 		Gbps:  map[string]map[core.Config]float64{},
 		Gains: map[string]float64{},
 	}
-	for _, fab := range fig13Fabrics {
+	configs := []core.Config{core.SWP2P, core.DCSCtrl}
+	gbps := make([]float64, len(fig13Fabrics)*len(configs))
+	ParallelFor(len(gbps), workers, func(i int) {
+		fab := fig13Fabrics[i/len(configs)]
+		params := Fig13SimParams()
+		fab.mod(&params)
+		gbps[i] = fig13Stream(configs[i%len(configs)], params)
+	})
+	for fi, fab := range fig13Fabrics {
 		row := map[core.Config]float64{}
-		for _, k := range []core.Config{core.SWP2P, core.DCSCtrl} {
-			params := Fig13SimParams()
-			fab.mod(&params)
-			row[k] = fig13Stream(k, params)
+		for ci, k := range configs {
+			row[k] = gbps[fi*len(configs)+ci]
 		}
 		out.Gbps[fab.name] = row
 		if row[core.SWP2P] > 0 {

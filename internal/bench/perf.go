@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"dcsctrl/internal/sim"
+)
+
+// Perf tracking for the kernel fast path and the parallel runner.
+// cmd/dcsbench emits this as BENCH_kernel.json so every PR leaves a
+// machine-readable perf trajectory behind: if ns/event or allocs/event
+// regress, the next session sees it in the artifact diff.
+
+// KernelStats is one kernel microbenchmark measurement.
+type KernelStats struct {
+	Events        uint64  `json:"events"`
+	WallNs        int64   `json:"wall_ns"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// measureKernel runs fn (which must dispatch through env) and derives
+// per-event rates from the wall clock and allocator deltas.
+func measureKernel(env *sim.Env, fn func()) KernelStats {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	events := env.Steps()
+	st := KernelStats{Events: events, WallNs: wall.Nanoseconds()}
+	if events > 0 {
+		st.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		st.EventsPerSec = float64(events) / wall.Seconds()
+		st.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		st.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+	}
+	return st
+}
+
+// MeasureKernelSchedule measures the pure timer path: n callbacks at
+// staggered future instants, batch-dispatched (the event-heap path).
+func MeasureKernelSchedule(n int) KernelStats {
+	env := sim.NewEnv()
+	nop := func() {}
+	return measureKernel(env, func() {
+		const batch = 4096
+		for done := 0; done < n; done += batch {
+			for j := 0; j < batch; j++ {
+				env.Schedule(sim.Time(1+(j*37)%977), nop)
+			}
+			env.Run(-1)
+		}
+	})
+}
+
+// MeasureKernelParkResume measures the process handoff path: two
+// processes ping-ponging through Yield (the FIFO-lane + direct-handoff
+// path).
+func MeasureKernelParkResume(n int) KernelStats {
+	env := sim.NewEnv()
+	for k := 0; k < 2; k++ {
+		env.Spawn("pp", func(p *sim.Proc) {
+			for i := 0; i < n/2; i++ {
+				p.Yield()
+			}
+		})
+	}
+	return measureKernel(env, func() { env.Run(-1) })
+}
+
+// FigureTiming is the wall-clock cost of one regenerated experiment.
+type FigureTiming struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// SweepComparison records the serial-vs-parallel wall clock of the
+// full size sweep, the headline number for the parallel runner.
+type SweepComparison struct {
+	Workers    int     `json:"workers"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// PerfReport is the BENCH_kernel.json payload.
+type PerfReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workers    int    `json:"workers"`
+	GoVersion  string `json:"go_version"`
+
+	KernelSchedule   KernelStats      `json:"kernel_schedule"`
+	KernelParkResume KernelStats      `json:"kernel_park_resume"`
+	Figures          []FigureTiming   `json:"figures,omitempty"`
+	Sweep            *SweepComparison `json:"sweep,omitempty"`
+}
+
+// NewPerfReport runs the kernel microbenchmarks and returns a report
+// ready to accumulate figure timings.
+func NewPerfReport(workers int) *PerfReport {
+	const events = 1 << 20
+	return &PerfReport{
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		Workers:          workers,
+		GoVersion:        runtime.Version(),
+		KernelSchedule:   MeasureKernelSchedule(events),
+		KernelParkResume: MeasureKernelParkResume(events),
+	}
+}
+
+// Time runs fn and records its wall clock under name.
+func (r *PerfReport) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	r.Figures = append(r.Figures, FigureTiming{
+		Name:   name,
+		WallMs: float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+// CompareSweep measures the full size sweep serially and with workers
+// goroutines and records the speedup.
+func (r *PerfReport) CompareSweep(workers int) {
+	// Warm the allocator and OS page cache first so the serial run
+	// (measured before the parallel one) isn't charged for first-touch
+	// costs the parallel run then inherits for free.
+	RunSizeSweepParallel(0, 1)
+	start := time.Now()
+	RunSizeSweepParallel(0, 1) // ProcNone
+	serial := time.Since(start)
+	start = time.Now()
+	RunSizeSweepParallel(0, workers)
+	par := time.Since(start)
+	cmp := &SweepComparison{
+		Workers:    workers,
+		SerialMs:   float64(serial.Nanoseconds()) / 1e6,
+		ParallelMs: float64(par.Nanoseconds()) / 1e6,
+	}
+	if par > 0 {
+		cmp.Speedup = float64(serial) / float64(par)
+	}
+	r.Sweep = cmp
+}
+
+// WriteJSON writes the report to path.
+func (r *PerfReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

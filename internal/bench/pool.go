@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel experiment runner. Every experiment in this package is a
+// grid of independent trial cells — (config, size, processing,
+// fault-profile) tuples — and each cell builds its own sim.Env, so
+// cells share no mutable state and can run on different OS threads
+// without any locking. Parallelism lives strictly *between*
+// environments; inside one environment the kernel stays single-
+// threaded and deterministic.
+//
+// Determinism of aggregated results is preserved by construction:
+// workers pull cell indices from a shared counter, but every result is
+// written to its cell's index-keyed slot and the caller assembles
+// output in index order, so the rendered figures are byte-identical to
+// a serial run regardless of worker count or completion order.
+
+// Workers normalizes a worker-count knob: n <= 0 selects GOMAXPROCS
+// (one worker per schedulable CPU), anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) across up to workers
+// goroutines and returns when all calls have completed. fn must write
+// its result into an index-keyed slot (slice element i) rather than
+// append, so the caller observes deterministic ordering. workers <= 1
+// degenerates to a plain serial loop on the calling goroutine.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

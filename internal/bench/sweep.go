@@ -24,19 +24,30 @@ type SizeSweep struct {
 // DefaultSweepSizes are the measured transfer sizes.
 var DefaultSweepSizes = []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 
-// RunSizeSweep executes the sweep.
+// RunSizeSweep executes the sweep serially.
 func RunSizeSweep(proc core.Processing) SizeSweep {
+	return RunSizeSweepParallel(proc, 1)
+}
+
+// RunSizeSweepParallel executes the sweep's config×size trial cells
+// across up to workers goroutines, each cell in its own sim.Env.
+// Results are keyed by cell index, so the output is identical to a
+// serial run for any worker count.
+func RunSizeSweepParallel(proc core.Processing, workers int) SizeSweep {
 	sw := SizeSweep{
 		Proc:      proc,
 		Sizes:     DefaultSweepSizes,
 		Configs:   []core.Config{core.SWOpt, core.SWP2P, core.DCSCtrl},
 		LatencyUs: map[core.Config][]float64{},
 	}
-	for _, kind := range sw.Configs {
-		for _, size := range sw.Sizes {
-			res := microbench(kind, size, proc)
-			sw.LatencyUs[kind] = append(sw.LatencyUs[kind], res.Latency.Microseconds())
-		}
+	lat := make([]float64, len(sw.Configs)*len(sw.Sizes))
+	ParallelFor(len(lat), workers, func(i int) {
+		kind := sw.Configs[i/len(sw.Sizes)]
+		size := sw.Sizes[i%len(sw.Sizes)]
+		lat[i] = microbench(kind, size, proc).Latency.Microseconds()
+	})
+	for ci, kind := range sw.Configs {
+		sw.LatencyUs[kind] = lat[ci*len(sw.Sizes) : (ci+1)*len(sw.Sizes)]
 	}
 	return sw
 }

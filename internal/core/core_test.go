@@ -5,6 +5,7 @@ import (
 	"crypto/md5"
 	"fmt"
 	"hash/crc32"
+	"strings"
 	"testing"
 
 	"dcsctrl/internal/hostos"
@@ -443,4 +444,71 @@ func TestVanillaPageCacheHits(t *testing.T) {
 	if hits == 0 {
 		t.Fatal("no cache hits recorded")
 	}
+}
+
+// TestConnPortAllocation pins the connection port scheme: the first
+// epoch matches the historical layout (server 8000+id%1000, client
+// counting up from 40000), the client-port wrap opens a fresh
+// server-port block instead of silently reusing pairs, and true
+// exhaustion panics with a clear message rather than colliding.
+func TestConnPortAllocation(t *testing.T) {
+	env := sim.NewEnv()
+	cl := NewCluster(env, SWOpt, DefaultParams())
+
+	src1, dst1 := cl.allocPorts(1)
+	if src1 != 8001 || dst1 != 40000 {
+		t.Fatalf("first conn ports = (%d,%d), want (8001,40000)", src1, dst1)
+	}
+
+	// Fast-forward to the end of the client-port range: the next
+	// allocation must move to a disjoint server-port block, not wrap
+	// into reserved space.
+	cl.nextPort = 65535
+	if _, dst := cl.allocPorts(2); dst != 65535 {
+		t.Fatalf("pre-wrap DstPort = %d, want 65535", dst)
+	}
+	src3, dst3 := cl.allocPorts(3)
+	if dst3 != 40000 {
+		t.Fatalf("post-wrap DstPort = %d, want 40000", dst3)
+	}
+	if cl.portEpoch != 1 {
+		t.Fatalf("portEpoch = %d after wrap, want 1", cl.portEpoch)
+	}
+	if src3 < 9000 || src3 > 9999 {
+		t.Fatalf("post-wrap SrcPort = %d, want in epoch-1 block [9000,9999]", src3)
+	}
+
+	// No (SrcPort, DstPort) pair may repeat across a dense run that
+	// includes a wrap.
+	cl2 := NewCluster(sim.NewEnv(), SWOpt, DefaultParams())
+	cl2.nextPort = 65535 - 50
+	seen := map[[2]uint16]bool{}
+	for id := uint64(1); id <= 200; id++ {
+		src, dst := cl2.allocPorts(id)
+		key := [2]uint16{src, dst}
+		if seen[key] {
+			t.Fatalf("port pair (%d,%d) reused at id %d", src, dst, id)
+		}
+		seen[key] = true
+	}
+
+	// OpenConn still works end to end with the new allocator.
+	if conn := cl.OpenConn(true); conn.ID == 0 {
+		t.Fatal("OpenConn returned zero conn ID")
+	}
+
+	// Exhaustion: an epoch high enough that the server-port block
+	// would pass 65535 must panic, not wrap.
+	cl3 := NewCluster(sim.NewEnv(), SWOpt, DefaultParams())
+	cl3.portEpoch = 58
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic on port-space exhaustion")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "port space exhausted") {
+			t.Fatalf("panic message %q does not name the exhaustion", msg)
+		}
+	}()
+	cl3.allocPorts(999)
 }

@@ -1,0 +1,68 @@
+package sim
+
+// Inlined 4-ary min-heap over a value slice, ordered by (at, seq).
+//
+// Versus the container/heap pointer heap this replaces: events are
+// stored by value (no per-Schedule allocation, no interface method
+// calls), and the wider fan-out trades comparisons for depth — a
+// 4-ary heap is half as deep as a binary one, which wins on sift-down
+// heavy workloads like event queues (pops dominate because the FIFO
+// lane absorbs most same-instant pushes).
+
+// eventBefore reports whether a dispatches before b.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// pushHeap inserts ev, restoring the heap order by sifting up.
+func (e *Env) pushHeap(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventBefore(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// popHeap removes and returns the minimum event. The caller must have
+// checked that the heap is non-empty.
+func (e *Env) popHeap() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/proc references for GC
+	h = h[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventBefore(&h[j], &h[min]) {
+				min = j
+			}
+		}
+		if !eventBefore(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.heap = h
+	return top
+}

@@ -1,0 +1,93 @@
+package sim
+
+import "testing"
+
+// Kernel microbenchmarks. Each op is one kernel event, so ns/op and
+// allocs/op read directly as ns/event and allocs/event — the numbers
+// BENCH_kernel.json tracks across PRs. Run with
+//
+//	go test -bench=Kernel -benchmem ./internal/sim
+//
+// BenchmarkKernelSchedule measures the pure timer path: schedule a
+// batch of callbacks at staggered future instants and dispatch them.
+// It exercises the event heap with no process handoffs.
+func BenchmarkKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	nop := func() {}
+	const batch = 4096
+	for done := 0; done < b.N; {
+		n := batch
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			// Staggered deadlines keep the heap genuinely ordered
+			// (all-equal deadlines would hit the FIFO fast path).
+			env.Schedule(Time(1+(j*37)%977), nop)
+		}
+		env.Run(-1)
+		done += n
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkKernelScheduleNow measures the same-instant path: callbacks
+// scheduled with zero delay, the Yield/wake burst pattern that the
+// FIFO lane accelerates.
+func BenchmarkKernelScheduleNow(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	nop := func() {}
+	const batch = 4096
+	for done := 0; done < b.N; {
+		n := batch
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			env.Schedule(0, nop)
+		}
+		env.Run(-1)
+		done += n
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkKernelParkResume measures the process handoff path: two
+// processes ping-ponging via Yield, so every op is a genuine
+// cross-goroutine park/resume handshake plus one same-instant event.
+func BenchmarkKernelParkResume(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	iters := b.N/2 + 1
+	for k := 0; k < 2; k++ {
+		env.Spawn("ping", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ResetTimer()
+	env.Run(-1)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkKernelSleepChain measures the timer + handoff combination:
+// two processes alternating sleeps, the dominant pattern in the device
+// models (DMA completions, wire serialization, command rings).
+func BenchmarkKernelSleepChain(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	iters := b.N/2 + 1
+	for k := 0; k < 2; k++ {
+		env.Spawn("chain", func(p *Proc) {
+			for i := 0; i < iters; i++ {
+				p.Sleep(Time(1 + i%13))
+			}
+		})
+	}
+	b.ResetTimer()
+	env.Run(-1)
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}

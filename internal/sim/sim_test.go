@@ -524,6 +524,75 @@ func TestCondBroadcastWakesAllWaiters(t *testing.T) {
 	}
 }
 
+// TestRunReentrancyPanics: calling Run while the simulation is already
+// running (from a process or a callback) used to deadlock silently on
+// the scheduler handoff; it must panic with the named error instead.
+func TestRunReentrancyPanics(t *testing.T) {
+	e := NewEnv()
+	var fromProc, fromCallback any
+	e.Spawn("nested", func(p *Proc) {
+		defer func() { fromProc = recover() }()
+		e.Run(-1)
+	})
+	e.Schedule(Microsecond, func() {
+		defer func() { fromCallback = recover() }()
+		e.Run(10 * Microsecond)
+	})
+	e.Run(-1)
+	if fromProc != ErrReentrantRun {
+		t.Fatalf("Run inside a process panicked with %v, want ErrReentrantRun", fromProc)
+	}
+	if fromCallback != ErrReentrantRun {
+		t.Fatalf("Run inside a callback panicked with %v, want ErrReentrantRun", fromCallback)
+	}
+	// The guard clears: a fresh Run afterwards works.
+	fired := false
+	e.Schedule(Microsecond, func() { fired = true })
+	e.Run(-1)
+	if !fired {
+		t.Fatal("Run after recovered re-entrancy panic did not dispatch")
+	}
+}
+
+// TestFIFOLaneOrdering pins the (at, seq) tie-break across the two
+// queues: an event scheduled *for* the current instant from within it
+// (FIFO lane) must not overtake an earlier-scheduled heap event at the
+// same instant.
+func TestFIFOLaneOrdering(t *testing.T) {
+	e := NewEnv()
+	var got []string
+	e.Schedule(5*Microsecond, func() {
+		got = append(got, "a")
+		// c lands in the FIFO lane; b (seq-earlier, same instant) is
+		// still in the heap and must run first.
+		e.Schedule(0, func() { got = append(got, "c") })
+	})
+	e.Schedule(5*Microsecond, func() { got = append(got, "b") })
+	e.Run(-1)
+	if fmt.Sprint(got) != "[a b c]" {
+		t.Fatalf("order = %v, want [a b c]", got)
+	}
+}
+
+// TestFIFOLaneCompaction drives the steady-state ping-pong that never
+// fully drains the lane and checks the lane's backing array stays
+// bounded (the compaction path).
+func TestFIFOLaneCompaction(t *testing.T) {
+	e := NewEnv()
+	const rounds = 100000
+	for k := 0; k < 2; k++ {
+		e.Spawn("pp", func(p *Proc) {
+			for i := 0; i < rounds; i++ {
+				p.Yield()
+			}
+		})
+	}
+	e.Run(-1)
+	if c := cap(e.fifo); c > 4096 {
+		t.Fatalf("fifo lane grew to cap %d; compaction not bounding it", c)
+	}
+}
+
 func TestCondNoMemory(t *testing.T) {
 	// A broadcast with no waiters is lost (condition variables have no
 	// memory); a subsequent waiter needs its own wakeup.
