@@ -1,0 +1,69 @@
+// Command dcslint runs the repo's determinism lint suite — a
+// multichecker over internal/lint's analyzers:
+//
+//	nowallclock  no wall-clock time or global math/rand in sim packages
+//	maporder     no map-range bodies that leak iteration order
+//	nogoroutine  no goroutines or raw channels outside the DES kernel
+//	simtime      no raw integer literals in sim.Time arithmetic
+//
+// Usage:
+//
+//	go run ./cmd/dcslint ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 failed to load.
+// Suppress a single finding with a justified directive:
+//
+//	//dcslint:allow <analyzer> <reason>
+//
+// on the offending line or the line directly above. See the
+// "Determinism rules" section of DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcsctrl/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dcslint [-list] [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcslint:", err)
+		os.Exit(2)
+	}
+	lint.Print(os.Stdout, findings)
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dcslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	for i, r := range s {
+		if r == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

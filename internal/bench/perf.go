@@ -16,10 +16,10 @@ import (
 
 // KernelStats is one kernel microbenchmark measurement.
 type KernelStats struct {
-	Events        uint64  `json:"events"`
-	WallNs        int64   `json:"wall_ns"`
-	NsPerEvent    float64 `json:"ns_per_event"`
-	EventsPerSec  float64 `json:"events_per_sec"`
+	Events         uint64  `json:"events"`
+	WallNs         int64   `json:"wall_ns"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
 }

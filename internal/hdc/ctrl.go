@@ -2,6 +2,7 @@ package hdc
 
 import (
 	"fmt"
+	"sort"
 
 	"dcsctrl/internal/ether"
 	"dcsctrl/internal/mem"
@@ -439,7 +440,13 @@ func (c *NICCtrl) lookupByTuple(t ether.Tuple) *conn {
 func (c *NICCtrl) DebugState() string {
 	out := fmt.Sprintf("recvPkts=%d gathered=%d sendJobs=%d pool(free=%d low=%d) recvQ=%d pendTx=%d",
 		c.recvPkts, c.gatheredBytes, c.sendJobs, c.eng.recvPool.Free(), c.eng.recvPool.LowWater(), c.recvQ.Len(), len(c.pendTx))
-	for id, cn := range c.conns {
+	ids := make([]uint64, 0, len(c.conns))
+	for id := range c.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cn := c.conns[id]
 		w := -1
 		if cn.waiter != nil {
 			w = cn.waiter.want

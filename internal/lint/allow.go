@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Escape-hatch directive:
+//
+//	//dcslint:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The analyzer name must be one of the suite's and
+// the reason must be non-empty — an allow without a "why" is exactly
+// the undocumented convention dcslint exists to replace. Malformed
+// directives are themselves diagnostics.
+
+const directivePrefix = "//dcslint:"
+
+// allowSet records, per file and line, which analyzers are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+// parseAllows scans the comments of files for dcslint directives.
+// A directive on line L suppresses matching diagnostics on L (trailing
+// comment) and L+1 (standalone comment above the code).
+func parseAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	allows := allowSet{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				name, ok := parseDirective(c.Text)
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "dcslint",
+						Message: "malformed directive: want //dcslint:allow <analyzer> <reason> " +
+							"with a known analyzer and a non-empty reason",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allows[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					allows[pos.Filename] = m
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if m[line] == nil {
+						m[line] = map[string]bool{}
+					}
+					m[line][name] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// parseDirective validates one //dcslint: comment, returning the
+// analyzer name it suppresses.
+func parseDirective(text string) (analyzer string, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix+"allow")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // analyzer + at least one reason word
+		return "", false
+	}
+	if byName(fields[0]) == nil {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// allowed reports whether a diagnostic from analyzer at pos is
+// suppressed by a directive.
+func (a allowSet) allowed(pos token.Position, analyzer string) bool {
+	return a[pos.Filename][pos.Line][analyzer]
+}

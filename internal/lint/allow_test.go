@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		ok       bool
+	}{
+		{"//dcslint:allow nowallclock host-side banner timing", "nowallclock", true},
+		{"//dcslint:allow maporder caller sorts the result", "maporder", true},
+		{"//dcslint:allow simtime raw cycle count", "simtime", true},
+		{"//dcslint:allow nogoroutine fixture plumbing", "nogoroutine", true},
+		{"//dcslint:allow nowallclock", "", false},                // missing reason
+		{"//dcslint:allow", "", false},                            // missing everything
+		{"//dcslint:allow nosuchanalyzer some reason", "", false}, // unknown analyzer
+		{"//dcslint:allowx nowallclock reason", "", false},        // mangled verb
+	}
+	for _, c := range cases {
+		name, ok := parseDirective(c.text)
+		if ok != c.ok || (ok && name != c.analyzer) {
+			t.Errorf("parseDirective(%q) = %q, %v; want %q, %v",
+				c.text, name, ok, c.analyzer, c.ok)
+		}
+	}
+}
+
+// A directive suppresses its analyzer on its own line and the line
+// directly below — no further, and never for other analyzers.
+func TestAllowSetCoverage(t *testing.T) {
+	src := `package p
+
+func f() {
+	//dcslint:allow nowallclock reason on its own line
+	g()
+	g() //dcslint:allow simtime trailing reason
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, bad := parseAllows(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	checks := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{4, "nowallclock", true},  // directive's own line
+		{5, "nowallclock", true},  // line below the standalone directive
+		{6, "nowallclock", false}, // out of range
+		{5, "simtime", false},     // other analyzers unaffected
+		{6, "simtime", true},      // trailing directive's own line
+		{7, "simtime", true},      // and the line below it
+		{8, "simtime", false},
+	}
+	for _, c := range checks {
+		if got := allows.allowed(at(c.line), c.analyzer); got != c.want {
+			t.Errorf("allowed(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	src := "package p\n\n//dcslint:allow nowallclock\nfunc f() {}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bad := parseAllows(fset, []*ast.File{f})
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 1: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "dcslint" {
+		t.Errorf("malformed directive attributed to %q, want dcslint", bad[0].Analyzer)
+	}
+}
+
+// Policy: the wall-clock and goroutine bans cover exactly the
+// simulation packages (the kernel keeps its own goroutines), while
+// maporder/simtime also cover reporting and facade code but skip
+// host-side tooling.
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"nowallclock", "dcsctrl/internal/hdc", true},
+		{"nowallclock", "dcsctrl/internal/sim", true},
+		{"nowallclock", "dcsctrl/internal/bench", false},
+		{"nowallclock", "dcsctrl/cmd/dcsbench", false},
+		{"nogoroutine", "dcsctrl/internal/sim", false}, // the kernel owns concurrency
+		{"nogoroutine", "dcsctrl/internal/nvme", true},
+		{"nogoroutine", "dcsctrl/internal/bench", false},
+		{"maporder", "dcsctrl/internal/report", true},
+		{"maporder", "dcsctrl", true},
+		{"maporder", "dcsctrl/cmd/dcslint", false},
+		{"simtime", "dcsctrl/internal/fault", true},
+		{"simtime", "dcsctrl/internal/bench", false},
+		{"simtime", "other.example/pkg", false},
+	}
+	for _, c := range cases {
+		a := byName(c.analyzer)
+		if a == nil {
+			t.Fatalf("unknown analyzer %q", c.analyzer)
+		}
+		if got := Applies(a, c.pkg); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}

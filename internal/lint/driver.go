@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Finding is one diagnostic resolved to a file position, ready to
+// print or assert on.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run loads the packages matching patterns (go list syntax, e.g.
+// "./...") from dir and applies every analyzer the policy assigns to
+// each package. Findings already suppressed by //dcslint:allow
+// directives are dropped; malformed directives are reported as
+// findings of the pseudo-analyzer "dcslint".
+func Run(dir string, patterns ...string) ([]Finding, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, RunPackage(pkg)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunPackage applies the applicable analyzers to one loaded package
+// and returns the unsuppressed findings.
+func RunPackage(pkg *Package) []Finding {
+	allows, bad := parseAllows(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	diags = append(diags, bad...)
+	for _, a := range Analyzers() {
+		if !Applies(a, pkg.Path) {
+			continue
+		}
+		diags = append(diags, runAnalyzer(a, pkg, allows)...)
+	}
+	var findings []Finding
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			Pos:      pkg.Fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return findings
+}
+
+// Apply runs a single analyzer over one loaded package, honouring
+// //dcslint:allow directives and reporting malformed directives, but
+// ignoring the package-scope policy. This is the hook the
+// analysistest harness drives testdata packages through.
+func Apply(a *Analyzer, pkg *Package) []Finding {
+	allows, bad := parseAllows(pkg.Fset, pkg.Files)
+	diags := append([]Diagnostic{}, bad...)
+	diags = append(diags, runAnalyzer(a, pkg, allows)...)
+	var findings []Finding
+	for _, d := range diags {
+		findings = append(findings, Finding{
+			Pos:      pkg.Fset.Position(d.Pos),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return findings
+}
+
+// runAnalyzer runs one analyzer over pkg, filtering allowed findings.
+func runAnalyzer(a *Analyzer, pkg *Package, allows allowSet) []Diagnostic {
+	var out []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d Diagnostic) {
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			if allows.allowed(pkg.Fset.Position(d.Pos), d.Analyzer) {
+				return
+			}
+			out = append(out, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		out = append(out, Diagnostic{
+			Pos:      pkg.Files[0].Pos(),
+			Analyzer: a.Name,
+			Message:  fmt.Sprintf("internal error: %v", err),
+		})
+	}
+	return out
+}
+
+// Print writes findings one per line in file:line:col form.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+}

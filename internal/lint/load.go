@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks packages from source using only the standard
+// library: one `go list -deps -json` invocation yields the full
+// import closure (standard library included) in dependency order,
+// and each package is then checked exactly once against a shared
+// cache. This replaces golang.org/x/tools/go/packages, which the
+// zero-dependency build cannot import.
+type Loader struct {
+	Dir   string // working directory for `go list` (anywhere in the module)
+	fset  *token.FileSet
+	cache map[string]*types.Package
+}
+
+// NewLoader returns a loader running `go list` in dir ("" = cwd).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:   dir,
+		fset:  token.NewFileSet(),
+		cache: map[string]*types.Package{"unsafe": types.Unsafe},
+	}
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+func (l *Loader) goList(patterns ...string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Dir,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	// cgo off: every package type-checks from pure-Go sources, so no
+	// generated cgo files are needed and the closure stays loadable.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// Load type-checks the packages matching patterns plus their entire
+// import closure, returning the matched (non-dependency) packages
+// with syntax and type information retained for analysis.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	pkgs, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	for _, lp := range pkgs {
+		keep := !lp.DepOnly
+		p, err := l.check(lp, keep)
+		if err != nil {
+			return nil, err
+		}
+		if keep && p != nil {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// check parses and type-checks one listed package, caching the result.
+// When keep is true the syntax trees and types.Info are returned for
+// analysis; dependencies are checked and dropped.
+func (l *Loader) check(lp listPkg, keep bool) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		return nil, nil
+	}
+	if _, done := l.cache[lp.ImportPath]; done && !keep {
+		return nil, nil
+	}
+	mode := parser.SkipObjectResolution
+	if keep {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(lp.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	l.cache[lp.ImportPath] = tpkg
+	if !keep {
+		return nil, nil
+	}
+	return &Package{Path: lp.ImportPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import implements types.Importer against the cache, loading the
+// import closure of a missing path on demand (used by the test
+// harness, whose testdata packages import paths — math/rand, the sim
+// kernel — that may not be in the initial closure).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	pkgs, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range pkgs {
+		if _, err := l.check(lp, false); err != nil {
+			return nil, err
+		}
+	}
+	p, ok := l.cache[path]
+	if !ok {
+		return nil, fmt.Errorf("import %q: not found", path)
+	}
+	return p, nil
+}
+
+// CheckDir parses and type-checks every non-test .go file in dir as a
+// single package (import path = path), resolving imports through the
+// loader. Used by the analysistest harness on testdata packages,
+// which live outside the go tool's view of the module.
+func (l *Loader) CheckDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}

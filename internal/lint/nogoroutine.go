@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoGoroutine flags `go` statements and raw channel makes in model
+// code. The DES kernel owns all concurrency: exactly one goroutine
+// (the Run caller or the current process) executes model code at any
+// instant, and park/resume hands control directly between processes.
+// A stray goroutine or ad-hoc channel in a device model reintroduces
+// scheduler nondeterminism and can deadlock the single-runnable-
+// process handoff. Models spawn concurrent activities with
+// sim.Env.Spawn and synchronise through sim.Queue / sim.Resource /
+// sim.Signal.
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid go statements and channel makes outside the DES kernel\n\n" +
+		"Model concurrency must go through sim.Env.Spawn and the kernel's " +
+		"synchronisation types; raw goroutines break the single-runnable-" +
+		"process invariant the park/resume handoff depends on.",
+	Run: runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement in model code; spawn simulated processes with "+
+						"sim.Env.Spawn — the kernel's park/resume handoff requires "+
+						"exactly one runnable goroutine")
+			case *ast.CallExpr:
+				if isChanMake(pass.TypesInfo, n) {
+					pass.Reportf(n.Pos(),
+						"raw channel make in model code; synchronise through the "+
+							"kernel's sim.Queue / sim.Resource / sim.Signal so event "+
+							"ordering stays deterministic")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isChanMake reports whether call is make(chan ...). The builtin make
+// has no types.Func object, so detect it as an ident named "make"
+// that types resolved to the universe builtin, with a channel type
+// argument.
+func isChanMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

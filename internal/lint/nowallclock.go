@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallClock flags wall-clock reads and global/unseeded randomness
+// in simulation packages. Model code runs on the simulated timeline:
+// time comes from sim.Env.Now / sim.Proc.Now, delays from Proc.Sleep
+// and Env.Schedule, and randomness from an explicitly seeded
+// rand.New(rand.NewSource(seed)) (or the per-site PRNG streams in
+// internal/fault). Anything else makes two runs of the same
+// experiment diverge, which silently invalidates golden figures,
+// fault fingerprints, and the parallel runner's byte-identical
+// guarantee.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid wall-clock time and global math/rand in simulation packages\n\n" +
+		"Simulation code must derive time from the DES kernel (sim.Env.Now, " +
+		"Proc.Sleep) and randomness from explicitly seeded generators, or " +
+		"replay is no longer bit-identical.",
+	Run: runNoWallClock,
+}
+
+// wallClockFuncs are the package time functions that read or depend
+// on the real clock. Pure conversions and constructors over explicit
+// values (time.Duration arithmetic, time.Unix, time.Date) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// seededRandCtors are the math/rand{,/v2} package-level functions that
+// construct explicitly seeded generators rather than consulting the
+// process-global (randomly seeded) one.
+var seededRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock; simulation code must use the "+
+							"DES kernel clock (sim.Env.Now / sim.Proc.Sleep) so replay "+
+							"stays bit-identical", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"%s.%s uses the process-global PRNG; simulation code must draw "+
+							"from an explicitly seeded generator (rand.New(rand.NewSource(seed)) "+
+							"or a fault.Injector stream) so replay stays bit-identical",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package lint
+
+import "strings"
+
+// ModulePath is the module all linted packages live in.
+const ModulePath = "dcsctrl"
+
+// SimKernelPath is the DES kernel package — the one place goroutines
+// and channels are allowed, and the home of the sim.Time type.
+const SimKernelPath = ModulePath + "/internal/sim"
+
+// simPackages are the simulation-model packages where every
+// determinism invariant is load-bearing: their code runs on the
+// simulated timeline and feeds golden figures and fault fingerprints.
+var simPackages = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/hdc",
+	"internal/nvme",
+	"internal/nic",
+	"internal/pcie",
+	"internal/ether",
+	"internal/fault",
+	"internal/workload",
+	"internal/hostos",
+	"internal/gpu",
+	"internal/ndp",
+	"internal/fpga",
+	"internal/mem",
+	"internal/apps",
+}
+
+// hostPackages are host-side measurement and tooling code: they may
+// read the wall clock (perf timing) and spawn goroutines (the
+// parallel experiment pool), because nothing on the simulated
+// timeline depends on them.
+var hostPackages = []string{
+	"internal/bench",
+	"internal/report",
+	"internal/trace",
+	"cmd/", // cmd/* — all binaries
+	"examples/",
+}
+
+// orderExempt are the packages even maporder/simtime skip: pure
+// driver/tooling code whose output never feeds a golden file.
+// Reporting and trace code stay covered — their output IS the golden
+// data.
+var orderExempt = []string{
+	"internal/bench",
+	"cmd/",
+	"examples/",
+}
+
+func inList(pkgPath string, list []string) bool {
+	rel, ok := strings.CutPrefix(pkgPath, ModulePath+"/")
+	if !ok {
+		// The module root package itself ("dcsctrl").
+		rel = ""
+		if pkgPath != ModulePath {
+			return false
+		}
+	}
+	for _, p := range list {
+		if rel == p || strings.HasPrefix(rel, p+"/") ||
+			(strings.HasSuffix(p, "/") && strings.HasPrefix(rel, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSimPackage reports whether pkgPath is simulation-model code.
+func IsSimPackage(pkgPath string) bool { return inList(pkgPath, simPackages) }
+
+// IsHostPackage reports whether pkgPath is allowlisted host-side code.
+func IsHostPackage(pkgPath string) bool { return inList(pkgPath, hostPackages) }
+
+// Applies reports whether analyzer a should run over pkgPath.
+//
+//   - nowallclock: simulation packages only — bench/report/cmd
+//     legitimately time real execution.
+//   - nogoroutine: simulation packages except the kernel itself,
+//     which owns all concurrency.
+//   - maporder and simtime: everywhere in the module except
+//     allowlisted host packages — reporting and facade code feed
+//     golden output too, and sim.Time hygiene is global.
+func Applies(a *Analyzer, pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, ModulePath) {
+		return false
+	}
+	switch a.Name {
+	case "nowallclock":
+		return IsSimPackage(pkgPath)
+	case "nogoroutine":
+		return IsSimPackage(pkgPath) && pkgPath != SimKernelPath
+	case "maporder", "simtime":
+		return !inList(pkgPath, orderExempt)
+	}
+	return true
+}
+
+// Analyzers returns the full dcslint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoWallClock, MapOrder, NoGoroutine, SimTime}
+}
+
+// byName returns the analyzer with the given name, or nil.
+func byName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SimTime flags raw integer literals mixed into sim.Time arithmetic.
+// sim.Time is nanoseconds, but `t + 1500` does not say so — the next
+// reader cannot tell 1.5µs from a typo'd 1.5ms, and unit bugs of
+// exactly this shape shift event order without failing any type
+// check. Durations must be built from the kernel's unit constants
+// (3*sim.Microsecond) or named sim.Time values. Scalar scaling
+// (t*2, t/4) and the zero value are fine; comparing or offsetting
+// against a bare nonzero literal is not.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: "forbid raw integer literals in sim.Time arithmetic and comparisons\n\n" +
+		"Build durations from the kernel's unit constants " +
+		"(sim.Nanosecond/Microsecond/Millisecond/Second) so every " +
+		"timestamp's unit is visible at the use site.",
+	Run: runSimTime,
+}
+
+func runSimTime(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB,
+					token.LSS, token.LEQ, token.GTR, token.GEQ,
+					token.EQL, token.NEQ:
+					checkSimTimePair(pass, n.X, n.Y, n.Op)
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 &&
+					(n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN) {
+					checkSimTimePair(pass, n.Lhs[0], n.Rhs[0], n.Tok)
+				}
+			case *ast.CallExpr:
+				// Conversion sim.Time(1500): a raw nanosecond count.
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := info.Types[n.Fun]
+				if !ok || !tv.IsType() || !isSimType(tv.Type, "Time") {
+					return true
+				}
+				if lit, val := rawIntLiteral(info, n.Args[0]); lit != nil && constant.Sign(val) != 0 {
+					pass.Reportf(n.Pos(),
+						"sim.Time(%s) hides the unit; build durations from the kernel's "+
+							"unit constants (e.g. %s*sim.Nanosecond)", lit.Value, lit.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSimTimePair reports if one of (x, y) is a sim.Time expression
+// and the other a bare nonzero integer literal.
+func checkSimTimePair(pass *Pass, x, y ast.Expr, op token.Token) {
+	for _, pair := range [2][2]ast.Expr{{x, y}, {y, x}} {
+		timeSide, litSide := pair[0], pair[1]
+		tv, ok := pass.TypesInfo.Types[timeSide]
+		if !ok || !isSimType(tv.Type, "Time") {
+			continue
+		}
+		// The time side must not itself be a literal (both sides
+		// literal means no sim.Time expression is involved).
+		if lit, _ := rawIntLiteral(pass.TypesInfo, timeSide); lit != nil {
+			continue
+		}
+		lit, val := rawIntLiteral(pass.TypesInfo, litSide)
+		if lit == nil || constant.Sign(val) == 0 {
+			continue
+		}
+		pass.Reportf(lit.Pos(),
+			"raw integer literal %s used with sim.Time in %q hides the unit; use the "+
+				"kernel's unit constants (e.g. %s*sim.Nanosecond) or a named sim.Time value",
+			lit.Value, op.String(), lit.Value)
+		return
+	}
+}
+
+// rawIntLiteral returns the integer literal underlying e (through
+// parens and unary +/-) and its constant value, or nil if e is not a
+// bare literal.
+func rawIntLiteral(info *types.Info, e ast.Expr) (*ast.BasicLit, constant.Value) {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.ADD && v.Op != token.SUB {
+				return nil, nil
+			}
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind != token.INT {
+				return nil, nil
+			}
+			tv, ok := info.Types[v]
+			if !ok || tv.Value == nil {
+				return nil, nil
+			}
+			return v, tv.Value
+		default:
+			return nil, nil
+		}
+	}
+}

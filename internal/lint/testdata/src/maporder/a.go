@@ -1,0 +1,136 @@
+// maporder cases over plain maps: output, appends, accumulators.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func emitsOutput(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map range emits output in randomized order`
+	}
+}
+
+func buildsString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b\.WriteString inside a map range accumulates output`
+	}
+	return b.String()
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range records randomized iteration order`
+	}
+	return keys
+}
+
+// The canonical collect/sort/index idiom must NOT be flagged.
+func collectSortIndex(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator counts as sorting too.
+func collectSortSlice(m map[int]string) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Integer sums are exact and commutative: fine in any order.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func floatSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v // want `floating-point addition`
+	}
+	return s
+}
+
+func stringConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want `string concatenation`
+	}
+	return out
+}
+
+func divides(m map[string]int) int {
+	q := 1 << 30
+	for _, v := range m {
+		q /= v // want `division/remainder`
+	}
+	return q
+}
+
+func sends(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a map range`
+	}
+}
+
+// Accumulating under the loop key is per-key and order-independent.
+func keyedAccumulate(src, acc map[string]float64) {
+	for k, v := range src {
+		acc[k] += v
+	}
+}
+
+// Building another map keyed by the loop variable commutes.
+func buildMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Per-iteration locals cannot leak iteration order.
+func perIterationLocal(m map[string]int) {
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		_ = b.String()
+	}
+}
+
+// Ranging over a slice is ordered; nothing to flag.
+func sliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// Deleting the visited key commutes.
+func clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func allowedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //dcslint:allow maporder caller sorts before use; see pairing in report.go
+	}
+	return keys
+}

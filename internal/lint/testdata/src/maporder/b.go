@@ -1,0 +1,28 @@
+// maporder cases involving the DES kernel: scheduling from inside a
+// map range stamps randomized order into the event queue.
+package maporder
+
+import (
+	"sort"
+
+	"dcsctrl/internal/sim"
+)
+
+func schedules(e *sim.Env, m map[string]sim.Time) {
+	for _, d := range m {
+		e.Schedule(d, func() {}) // want `call into the DES kernel \(sim\.Schedule\) inside a map range`
+	}
+}
+
+// Sorting the keys first, then scheduling from the sorted slice, is
+// the fix and must pass.
+func sortedThenSchedule(e *sim.Env, m map[string]sim.Time) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Schedule(m[k], func() {})
+	}
+}

@@ -1,0 +1,40 @@
+// nogoroutine cases: model code must leave concurrency to the DES
+// kernel. Only `go` statements and channel makes are flagged — other
+// makes and ordinary calls are fine.
+package nogoroutine
+
+func spawns() {
+	go drain() // want `go statement in model code`
+	go func() {}() // want `go statement in model code`
+}
+
+func chans() {
+	ch := make(chan int) // want `raw channel make in model code`
+	buf := make(chan string, 4) // want `raw channel make in model code`
+	_, _ = ch, buf
+}
+
+type msgChan chan int
+
+func namedChanType() {
+	ch := make(msgChan, 1) // want `raw channel make in model code`
+	_ = ch
+}
+
+func fineMakes() {
+	s := make([]int, 0, 8)
+	m := make(map[string]int, 4)
+	_, _ = s, m
+}
+
+func allowedTrailing() {
+	go drain() //dcslint:allow nogoroutine off-timeline profiling helper, never scheduled by models
+}
+
+func allowedAbove() {
+	//dcslint:allow nogoroutine fixture plumbing for a manual stress harness
+	ch := make(chan struct{}, 1)
+	_ = ch
+}
+
+func drain() {}

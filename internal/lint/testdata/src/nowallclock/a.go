@@ -1,0 +1,26 @@
+// Positive cases: wall-clock reads and global math/rand draws that
+// nowallclock must flag in simulation packages.
+package nowallclock
+
+import (
+	clock "time"
+	"math/rand"
+	"time"
+)
+
+func wallClock() {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	_ = time.Since(start) // want `time\.Since reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = time.After(time.Second) // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	_ = clock.Now() // want `time\.Now reads the wall clock`
+}
+
+func globalRand() {
+	_ = rand.Intn(10) // want `rand\.Intn uses the process-global PRNG`
+	_ = rand.Int63() // want `rand\.Int63 uses the process-global PRNG`
+	_ = rand.Float64() // want `rand\.Float64 uses the process-global PRNG`
+	rand.Shuffle(4, func(i, j int) {}) // want `rand\.Shuffle uses the process-global PRNG`
+	_ = rand.Perm(8) // want `rand\.Perm uses the process-global PRNG`
+}

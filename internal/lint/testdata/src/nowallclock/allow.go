@@ -1,0 +1,24 @@
+// Escape-hatch cases: a justified //dcslint:allow suppresses exactly
+// its named analyzer on its line (trailing) or the line below
+// (standalone); anything else still fires, and malformed directives
+// are diagnostics in their own right.
+package nowallclock
+
+import "time"
+
+func allowedTrailing() time.Time {
+	return time.Now() //dcslint:allow nowallclock host-side startup banner, never on the simulated timeline
+}
+
+func allowedAbove() {
+	//dcslint:allow nowallclock yielding to the OS scheduler in a manual stress harness
+	time.Sleep(time.Millisecond)
+}
+
+func wrongAnalyzerDoesNotSuppress() time.Time {
+	return time.Now() //dcslint:allow maporder wrong analyzer name // want `time\.Now reads the wall clock`
+}
+
+func malformedDirectives() {
+	//dcslint:allow nosuchanalyzer missing from the suite // want `malformed directive`
+}

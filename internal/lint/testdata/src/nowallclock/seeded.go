@@ -1,0 +1,22 @@
+// Negative cases: explicitly seeded randomness and pure time-value
+// arithmetic are fine — only the wall clock and the process-global
+// PRNG break replay.
+package nowallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42))
+	z := rand.NewZipf(r, 1.1, 1, 1<<20)
+	return r.Intn(10) + int(z.Uint64())
+}
+
+func timeValues() time.Duration {
+	d := 3 * time.Millisecond
+	t := time.Unix(0, 0).Add(d)
+	_ = t.UnixNano()
+	return d + time.Duration(500)*time.Microsecond
+}

@@ -1,0 +1,45 @@
+// simtime cases: sim.Time is nanoseconds, and a bare literal mixed
+// into Time arithmetic hides that unit. Scalar scaling and the zero
+// value stay legal.
+package simtime
+
+import "dcsctrl/internal/sim"
+
+func arithmetic(t sim.Time) sim.Time {
+	u := t + 500 // want `raw integer literal 500 used with sim\.Time`
+	u = u - 3 // want `raw integer literal 3 used with sim\.Time`
+	u += 250 // want `raw integer literal 250 used with sim\.Time`
+	u = 1000 + u // want `raw integer literal 1000 used with sim\.Time`
+	return u
+}
+
+func comparisons(t sim.Time) bool {
+	if t > 1000 { // want `raw integer literal 1000 used with sim\.Time`
+		return true
+	}
+	return t != 7 // want `raw integer literal 7 used with sim\.Time`
+}
+
+func conversions(n int64) sim.Time {
+	t := sim.Time(1500) // want `sim\.Time\(1500\) hides the unit`
+	_ = t
+	return sim.Time(n) // computed values carry their own provenance
+}
+
+func fine(t, d sim.Time) sim.Time {
+	u := t + 3*sim.Microsecond
+	u = u + d
+	u = u * 2 // scalar scaling is legitimate
+	u = u / 4
+	if u == 0 { // the zero value needs no unit
+		u = sim.Time(0)
+	}
+	if u > d {
+		u -= sim.Nanosecond
+	}
+	return u
+}
+
+func allowed(t sim.Time) sim.Time {
+	return t + 1500 //dcslint:allow simtime raw cycle count from the paper's Table 2
+}
