@@ -1,0 +1,165 @@
+// Command benchdiff compares a freshly generated benchmark report
+// against a checked-in baseline and exits non-zero on regressions:
+//
+//   - any ns/op (or ns/event) metric more than -tolerance (default
+//     25%) slower than the baseline, and
+//   - ANY allocations on a path whose baseline is zero allocs/op —
+//     zero-allocation paths are a hard invariant, not a budget.
+//
+// It understands both report shapes emitted by cmd/dcsbench:
+// BENCH_dataplane.json (data-plane microbenchmarks) and
+// BENCH_kernel.json (kernel microbenchmarks + figure wall times).
+// Metrics present in only one file are reported but never fail the
+// diff, so CI can regenerate a subset of the baseline's figures.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_dataplane.json -fresh fresh_dataplane.json
+//	benchdiff -baseline BENCH_kernel.json -fresh fresh_kernel.json -tolerance 0.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// metric is one comparable measurement extracted from a report.
+type metric struct {
+	ns     float64 // time per op/event; 0 = absent
+	allocs float64
+	hasNs  bool
+	zeroed bool // baseline promises zero allocs on this path
+	soft   bool // informational only (whole-run wall clocks): never fails
+}
+
+type kernelStats struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+type kernelReport struct {
+	KernelSchedule   *kernelStats `json:"kernel_schedule"`
+	KernelParkResume *kernelStats `json:"kernel_park_resume"`
+	Figures          []struct {
+		Name   string  `json:"name"`
+		WallMs float64 `json:"wall_ms"`
+	} `json:"figures"`
+}
+
+type dataplaneReport struct {
+	Benches []struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benches"`
+}
+
+// load parses path into name→metric, detecting the report shape.
+func load(path string) (map[string]metric, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]metric{}
+
+	var dp dataplaneReport
+	if err := json.Unmarshal(data, &dp); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(dp.Benches) > 0 {
+		for _, b := range dp.Benches {
+			out[b.Name] = metric{ns: b.NsPerOp, allocs: b.AllocsPerOp, hasNs: true, zeroed: b.AllocsPerOp == 0}
+		}
+		return out, nil
+	}
+
+	var kr kernelReport
+	if err := json.Unmarshal(data, &kr); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if kr.KernelSchedule == nil && kr.KernelParkResume == nil {
+		return nil, fmt.Errorf("%s: neither a dataplane nor a kernel report", path)
+	}
+	if s := kr.KernelSchedule; s != nil {
+		out["kernel_schedule"] = metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true}
+	}
+	if s := kr.KernelParkResume; s != nil {
+		out["kernel_park_resume"] = metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true}
+	}
+	// Figure wall times ride along informationally: they are whole-run
+	// wall clocks, far too noisy on shared CI runners to gate on, so
+	// they are printed in the table but never fail the diff.
+	for _, f := range kr.Figures {
+		out["figure:"+f.Name] = metric{ns: f.WallMs * 1e6, hasNs: true, soft: true}
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "checked-in baseline report (JSON)")
+	fresh := flag.String("fresh", "", "freshly generated report (JSON)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown before failing")
+	flag.Parse()
+	if *baseline == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("SKIP  %-24s not in fresh report\n", name)
+			continue
+		}
+		status := "ok"
+		ratio := 0.0
+		if b.ns > 0 {
+			ratio = c.ns / b.ns
+			if ratio > 1+*tolerance && !b.soft {
+				status = "SLOWER"
+				failed = true
+			}
+		}
+		if b.zeroed && c.allocs > 0 {
+			status = "ALLOCS"
+			failed = true
+		}
+		fmt.Printf("%-6s %-24s ns %12.2f -> %12.2f (%.2fx)  allocs %g -> %g\n",
+			status, name, b.ns, c.ns, ratio, b.allocs, c.allocs)
+	}
+	var added []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("NEW   %-24s (no baseline)\n", name)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")
+		os.Exit(1)
+	}
+}

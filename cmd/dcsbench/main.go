@@ -9,6 +9,7 @@
 //	dcsbench -only fig11a,table4
 //	dcsbench -list            # show available experiment ids
 //	dcsbench -benchjson BENCH_kernel.json   # emit kernel + wall-time perf report
+//	dcsbench -dataplanejson BENCH_dataplane.json   # emit data-plane ns/op + allocs/op report
 //	dcsbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment output is byte-identical at every -parallel value:
@@ -39,6 +40,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	benchjson := flag.String("benchjson", "", "write a kernel+wall-time perf report (BENCH_kernel.json) to this file")
+	dataplanejson := flag.String("dataplanejson", "", "write the data-plane microbenchmark report (BENCH_dataplane.json) to this file")
 	flag.Parse()
 
 	if *list {
@@ -95,6 +97,14 @@ func main() {
 	}
 	if *benchjson != "" {
 		perf = bench.NewPerfReport(workers)
+	}
+	if *dataplanejson != "" {
+		dp := bench.NewDataplaneReport()
+		if err := dp.WriteJSON(*dataplanejson); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcsbench: wrote data-plane report to %s\n", *dataplanejson)
 	}
 
 	w := os.Stdout

@@ -41,8 +41,9 @@ func (n *Node) lookupConnByTuple(t ether.Tuple) *hostConn {
 // reassembles connection streams, and reposts buffers.
 func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 	hp := n.Params.Host
+	var fills []nic.Filled // scratch, reused across wakes
 	for {
-		fills := recv.Poll()
+		fills = recv.AppendPoll(fills[:0])
 		if len(fills) == 0 {
 			// Re-arm with the current ack before parking; completions
 			// that raced in trigger an immediate interrupt (NAPI's
@@ -57,8 +58,10 @@ func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 				cost += hp.SockBufOp
 			}
 			n.Host.Exec(p, trace.CatNetStack, cost, nil)
-			frame := n.MM.Read(f.Addr, int(f.Cpl.HdrLen)+int(f.Cpl.PayLen))
-			seg, err := ether.Parse(frame)
+			// View: the payload is copied into c.stream before the
+			// buffer is reposted by postRecvBuffers below.
+			frame := n.MM.View(f.Addr, int(f.Cpl.HdrLen)+int(f.Cpl.PayLen))
+			seg, err := ether.ParseView(frame)
 			if err != nil {
 				continue // corrupt frame: dropped by checksum
 			}

@@ -144,7 +144,8 @@ func (n *Node) hostProcess(p *sim.Proc, bd *trace.Breakdown, buf mem.Addr, nbyte
 	}
 	// CPU fallback: hash/encrypt on a core.
 	n.Host.Exec(p, trace.CatHash, sim.BpsToTime(nbytes, cpuHashBps), bd)
-	return cpuDigest(proc, n.MM.Read(buf, nbytes)), nil
+	// View: cpuDigest only reads the bytes, synchronously.
+	return cpuDigest(proc, n.MM.View(buf, nbytes)), nil
 }
 
 // cpuDigest computes the real digest for a processing kind (nil when

@@ -94,9 +94,22 @@ func (s *Segment) WireLen() int { return HeadersLen + len(s.Payload) + WireOverh
 
 // Marshal builds the full Ethernet frame with valid IPv4 and TCP
 // checksums.
-func (s *Segment) Marshal() []byte {
+func (s *Segment) Marshal() []byte { return s.MarshalTo(nil) }
+
+// MarshalTo is Marshal into a reusable buffer: b's backing array is
+// used when it has capacity (its header span is re-zeroed first, so a
+// recycled frame buffer yields bit-identical frames), otherwise a
+// fresh slice is allocated. Returns the marshalled frame.
+func (s *Segment) MarshalTo(b []byte) []byte {
 	total := HeadersLen + len(s.Payload)
-	b := make([]byte, total)
+	if cap(b) < total {
+		b = make([]byte, total)
+	} else {
+		b = b[:total]
+		for i := range b[:HeadersLen] {
+			b[i] = 0
+		}
+	}
 
 	// Ethernet header.
 	copy(b[0:6], s.Flow.DstMAC[:])
@@ -130,8 +143,22 @@ func (s *Segment) Marshal() []byte {
 }
 
 // Parse decodes and verifies a frame produced by Marshal. Checksum
-// failures and malformed headers are errors.
+// failures and malformed headers are errors. The returned payload is
+// a copy, safe to retain; hot receive paths that consume the payload
+// before the frame buffer is reused should use ParseView.
 func Parse(b []byte) (Segment, error) {
+	s, err := ParseView(b)
+	if err == nil {
+		s.Payload = append([]byte(nil), s.Payload...)
+	}
+	return s, err
+}
+
+// ParseView is Parse without the payload copy: the returned segment's
+// Payload aliases b, so it is only valid as long as b is — the caller
+// must copy before retaining it past the frame buffer's reuse (see
+// DESIGN.md §11).
+func ParseView(b []byte) (Segment, error) {
 	var s Segment
 	if len(b) < HeadersLen {
 		return s, fmt.Errorf("ether: frame too short (%d bytes)", len(b))
@@ -167,7 +194,7 @@ func Parse(b []byte) (Segment, error) {
 	s.Seq = binary.BigEndian.Uint32(tcp[4:8])
 	s.Ack = binary.BigEndian.Uint32(tcp[8:12])
 	s.Flags = tcp[13]
-	s.Payload = append([]byte(nil), tcp[TCPHeaderLen:]...)
+	s.Payload = tcp[TCPHeaderLen:]
 	return s, nil
 }
 
@@ -205,8 +232,16 @@ func ParseHeaders(b []byte) (Segment, error) {
 // job: addressing and sequence number filled in, checksums zero (the
 // transmit path computes them per segment).
 func HeaderTemplate(flow Flow, seq uint32, flags uint8) []byte {
+	return HeaderTemplateTo(nil, flow, seq, flags)
+}
+
+// HeaderTemplateTo is HeaderTemplate into a caller-owned buffer: when
+// cap(b) is large enough the backing array is reused and nothing is
+// allocated. Callers that retain the previous template must copy it
+// before reusing the buffer.
+func HeaderTemplateTo(b []byte, flow Flow, seq uint32, flags uint8) []byte {
 	s := Segment{Flow: flow, Seq: seq, Flags: flags}
-	frame := s.Marshal()
+	frame := s.MarshalTo(b)
 	hdr := frame[:HeadersLen]
 	// Zero the checksums: the template is not a valid frame.
 	hdr[EthHeaderLen+10] = 0
@@ -218,28 +253,42 @@ func HeaderTemplate(flow Flow, seq uint32, flags uint8) []byte {
 
 // Segmentize splits payload into MSS-sized segments starting at seq —
 // what the NIC's large-send-offload engine does in hardware. The final
-// segment carries PSH.
+// segment carries PSH. Each segment's payload is an independent copy;
+// transmit paths that marshal the segments before the source buffer
+// is reused should use AppendSegments to skip the copies.
 func Segmentize(flow Flow, seq uint32, payload []byte, mss int) []Segment {
+	out := AppendSegments(nil, flow, seq, payload, mss)
+	for i := range out {
+		out[i].Payload = append([]byte(nil), out[i].Payload...)
+	}
+	return out
+}
+
+// AppendSegments is Segmentize into a caller-owned slice and without
+// the payload copies: each segment's Payload aliases the corresponding
+// window of payload, so the segments are only valid while payload is
+// stable (see DESIGN.md §11). It appends to dst and returns the
+// extended slice, allocating nothing when dst has capacity.
+func AppendSegments(dst []Segment, flow Flow, seq uint32, payload []byte, mss int) []Segment {
 	if mss <= 0 {
 		mss = MSS
 	}
 	if len(payload) == 0 {
-		return []Segment{{Flow: flow, Seq: seq, Flags: FlagACK | FlagPSH}}
+		return append(dst, Segment{Flow: flow, Seq: seq, Flags: FlagACK | FlagPSH})
 	}
-	var out []Segment
 	for off := 0; off < len(payload); off += mss {
 		end := off + mss
 		if end > len(payload) {
 			end = len(payload)
 		}
 		seg := Segment{Flow: flow, Seq: seq + uint32(off), Flags: FlagACK,
-			Payload: append([]byte(nil), payload[off:end]...)}
+			Payload: payload[off:end]}
 		if end == len(payload) {
 			seg.Flags |= FlagPSH
 		}
-		out = append(out, seg)
+		dst = append(dst, seg)
 	}
-	return out
+	return dst
 }
 
 // ipChecksum computes the ones'-complement header checksum; over a
@@ -261,6 +310,15 @@ func tcpChecksum(src, dst IP, tcp []byte) uint16 {
 }
 
 func sum16(b []byte, acc uint32) uint32 {
+	// Fold four big-endian words per 8-byte load. uint32 addition is
+	// associative and commutative mod 2^32, so any regrouping of the
+	// word sums — including this one — is bit-identical to the
+	// two-bytes-at-a-time loop below.
+	for len(b) >= 8 {
+		v := binary.BigEndian.Uint64(b)
+		acc += uint32(v>>48) + uint32(v>>32)&0xFFFF + uint32(v>>16)&0xFFFF + uint32(v)&0xFFFF
+		b = b[8:]
+	}
 	for i := 0; i+1 < len(b); i += 2 {
 		acc += uint32(binary.BigEndian.Uint16(b[i : i+2]))
 	}

@@ -117,7 +117,8 @@ func (g *GPU) RunHashKernel(p *sim.Proc, kind KernelKind, data mem.Addr, n int, 
 	defer g.smUnits.Release()
 	p.Sleep(g.params.LaunchLat)
 	p.Sleep(sim.BpsToTime(n, g.params.HashBps))
-	buf := g.fab.Mem().Read(data, n)
+	// View: the digest functions only read the bytes, synchronously.
+	buf := g.fab.Mem().View(data, n)
 	var digest []byte
 	switch kind {
 	case KernelMD5:

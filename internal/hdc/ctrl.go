@@ -46,8 +46,54 @@ type NVMeCtrl struct {
 	prpPages []mem.Addr
 	prpNext  int
 
+	// Per-loop scratch and recycled completion callbacks, so the
+	// steady-state submit path allocates nothing (DESIGN.md §11).
+	pages  []mem.Addr
+	cbFree []*nvmeCb
+
 	cmds    int64
 	retries int64
+}
+
+// nvmeCb is one in-flight command's completion context. fn is the
+// record's bound onCpl method, created once per record and reused.
+type nvmeCb struct {
+	c   *NVMeCtrl
+	req nvmeReq
+	fn  func(nvme.Completion)
+}
+
+func (cb *nvmeCb) onCpl(cpl nvme.Completion) {
+	c, req := cb.c, cb.req
+	cb.req = nvmeReq{}
+	c.cbFree = append(c.cbFree, cb)
+	switch {
+	case cpl.Status == nvme.StatusSuccess:
+		req.done.Fire(nil)
+	case nvme.Retryable(cpl.Status) && req.attempt < nvmeMaxRetries:
+		// Transient media error: re-enqueue the request after an
+		// exponential backoff. The callback runs on the scheduler,
+		// so the requeue is deferred rather than slept.
+		c.retries++
+		retry := req
+		retry.attempt++
+		c.eng.env.Schedule(nvmeRetryBackoff<<uint(req.attempt), func() {
+			c.reqQ.Put(retry)
+		})
+	default:
+		panic(fmt.Sprintf("hdc: nvme status %#x after %d attempts", cpl.Status, req.attempt+1))
+	}
+}
+
+func (c *NVMeCtrl) getCb() *nvmeCb {
+	if k := len(c.cbFree); k > 0 {
+		cb := c.cbFree[k-1]
+		c.cbFree = c.cbFree[:k-1]
+		return cb
+	}
+	cb := &nvmeCb{c: c}
+	cb.fn = cb.onCpl
+	return cb
 }
 
 func newNVMeCtrl(eng *Engine, ssd *nvme.SSD, qid uint16, entries, idx int) *NVMeCtrl {
@@ -94,10 +140,11 @@ func (c *NVMeCtrl) loop(p *sim.Proc) {
 		}
 		// Hardware command build: PRPs point straight at DDR3 pages.
 		p.Sleep(c.eng.params.NVMeBuild)
-		pages := make([]mem.Addr, r.blocks)
-		for i := range pages {
-			pages[i] = r.buf + mem.Addr(i*nvme.BlockSize)
+		pages := c.pages[:0]
+		for i := 0; i < r.blocks; i++ {
+			pages = append(pages, r.buf+mem.Addr(i*nvme.BlockSize))
 		}
+		c.pages = pages
 		prpPage := c.prpPages[c.prpNext]
 		c.prpNext = (c.prpNext + 1) % len(c.prpPages)
 		prp1, prp2, err := nvme.BuildPRPs(c.eng.fab.Mem(), pages, prpPage)
@@ -108,28 +155,12 @@ func (c *NVMeCtrl) loop(p *sim.Proc) {
 		if r.write {
 			op = nvme.OpWrite
 		}
-		req := r
+		cb := c.getCb()
+		cb.req = r
 		_, err = c.ring.Submit(nvme.Command{
 			Opcode: op, NSID: 1, PRP1: prp1, PRP2: prp2,
 			SLBA: r.lba, NLB: uint16(r.blocks - 1),
-		}, func(cpl nvme.Completion) {
-			switch {
-			case cpl.Status == nvme.StatusSuccess:
-				req.done.Fire(nil)
-			case nvme.Retryable(cpl.Status) && req.attempt < nvmeMaxRetries:
-				// Transient media error: re-enqueue the request after an
-				// exponential backoff. The callback runs on the scheduler,
-				// so the requeue is deferred rather than slept.
-				c.retries++
-				retry := req
-				retry.attempt++
-				c.eng.env.Schedule(nvmeRetryBackoff<<uint(req.attempt), func() {
-					c.reqQ.Put(retry)
-				})
-			default:
-				panic(fmt.Sprintf("hdc: nvme status %#x after %d attempts", cpl.Status, req.attempt+1))
-			}
-		})
+		}, cb.fn)
 		if err != nil {
 			panic(err)
 		}
@@ -163,6 +194,7 @@ type conn struct {
 	txSeq  uint32
 	rxSeq  uint32 // next expected receive sequence
 	rxBufs []rxExtent
+	rxHead int      // next unconsumed rxBufs entry (capacity-preserving)
 	rxALen int      // bytes available in rxBufs
 	waiter *recvReq // at most one outstanding receive per connection
 }
@@ -190,6 +222,14 @@ type NICCtrl struct {
 	sendSpace *sim.Cond
 	cplKick   *sim.Cond
 	pendTx    []pendingSend
+
+	// Reused per-loop scratch (BD chains, restock lists, poll results,
+	// header template) — each is touched by exactly one controller
+	// process, so a single slice apiece suffices.
+	bds        []nic.SendBD
+	rbds       []nic.RecvBD
+	fills      []nic.Filled
+	hdrScratch []byte
 
 	conns map[uint64]*conn
 
@@ -275,8 +315,8 @@ func (c *NICCtrl) DrainConn(id uint64) (flow ether.Flow, txSeq, rxSeq uint32, bu
 		return ether.Flow{}, 0, 0, nil, false
 	}
 	mm := c.eng.fab.Mem()
-	for _, ext := range cn.rxBufs {
-		buffered = append(buffered, mm.Read(ext.addr, ext.n)...)
+	for _, ext := range cn.rxBufs[cn.rxHead:] {
+		buffered = append(buffered, mm.View(ext.addr, ext.n)...)
 		c.eng.recvPool.Put(ext.buf)
 	}
 	delete(c.conns, id)
@@ -295,7 +335,9 @@ func (c *NICCtrl) onStatus() {
 		ps.done.Fire(nil)
 		n++
 	}
-	c.pendTx = c.pendTx[n:]
+	// Compact in place so the slice's capacity is reused forever
+	// instead of resliced away.
+	c.pendTx = append(c.pendTx[:0], c.pendTx[n:]...)
 	c.sendSpace.Broadcast()
 	// Receive completions: wake the receive controller.
 	c.cplKick.Broadcast()
@@ -314,7 +356,8 @@ func (c *NICCtrl) sendLoop(p *sim.Proc) {
 		}
 		// Generate the TCP/IP header template in hardware.
 		p.Sleep(c.eng.params.NICHeaderGen)
-		hdr := ether.HeaderTemplate(cn.flow, cn.txSeq, ether.FlagACK|ether.FlagPSH)
+		hdr := ether.HeaderTemplateTo(c.hdrScratch, cn.flow, cn.txSeq, ether.FlagACK|ether.FlagPSH)
+		c.hdrScratch = hdr
 		slotAddr := c.hdrBuf.Base + mem.Addr(hdrNext*64)
 		hdrNext = (hdrNext + 1) % hdrSlots
 		c.eng.fab.Mem().Write(slotAddr, hdr)
@@ -322,7 +365,7 @@ func (c *NICCtrl) sendLoop(p *sim.Proc) {
 
 		// Build the BD chain: header from BRAM, payload from DDR3 in
 		// ≤32 KB fragments (16-bit BD lengths).
-		bds := []nic.SendBD{{Addr: slotAddr, Len: uint16(len(hdr)), Flags: nic.SendFlagLSO, MSS: ether.MSS}}
+		bds := append(c.bds[:0], nic.SendBD{Addr: slotAddr, Len: uint16(len(hdr)), Flags: nic.SendFlagLSO, MSS: ether.MSS})
 		const frag = 32 << 10
 		for off := 0; off < r.length; off += frag {
 			n := r.length - off
@@ -338,6 +381,7 @@ func (c *NICCtrl) sendLoop(p *sim.Proc) {
 		if err := c.send.Push(bds); err != nil {
 			panic(err)
 		}
+		c.bds = bds
 		c.pendTx = append(c.pendTx, pendingSend{tail: c.send.Tail(), done: r.done})
 		c.send.RingDoorbell()
 		c.sendJobs++
@@ -355,7 +399,7 @@ func (c *NICCtrl) SubmitRecv(r recvReq) {
 
 // restockRecvBuffers posts 2 KB DDR3 buffers until the ring is full.
 func (c *NICCtrl) restockRecvBuffers() {
-	var bds []nic.RecvBD
+	bds := c.rbds[:0]
 	for c.recv.Unconsumed()+len(bds) < c.eng.params.NICEntries-1 {
 		buf, ok := c.eng.recvPool.Get()
 		if !ok {
@@ -369,6 +413,7 @@ func (c *NICCtrl) restockRecvBuffers() {
 		}
 		c.recv.RingDoorbell()
 	}
+	c.rbds = bds
 }
 
 // recvLoop implements hardware receive: packet header parsing, flow
@@ -392,14 +437,15 @@ func (c *NICCtrl) recvLoop(p *sim.Proc) {
 			cn.waiter = &rr
 			c.tryGather(p, cn)
 		}
-		fills := c.recv.Poll()
+		c.fills = c.recv.AppendPoll(c.fills[:0])
+		fills := c.fills
 		if len(fills) == 0 {
 			c.cplKick.Wait(p)
 			continue
 		}
 		for _, f := range fills {
 			p.Sleep(c.eng.params.RecvParse)
-			hdr := mm.Read(f.Addr, int(f.Cpl.HdrLen))
+			hdr := mm.View(f.Addr, int(f.Cpl.HdrLen))
 			seg, err := ether.ParseHeaders(hdr)
 			if err != nil {
 				panic(fmt.Sprintf("hdc: unparsable received header: %v", err))
@@ -415,6 +461,11 @@ func (c *NICCtrl) recvLoop(p *sim.Proc) {
 			}
 			cn.rxSeq += uint32(f.Cpl.PayLen)
 			if f.Cpl.PayLen > 0 {
+				if cn.rxHead == len(cn.rxBufs) {
+					// Fully drained: rewind so the backing array is reused.
+					cn.rxBufs = cn.rxBufs[:0]
+					cn.rxHead = 0
+				}
 				cn.rxBufs = append(cn.rxBufs, rxExtent{addr: f.Addr + nic.HdrOff, n: int(f.Cpl.PayLen), buf: f.Addr})
 				cn.rxALen += int(f.Cpl.PayLen)
 			} else {
@@ -468,7 +519,7 @@ func (c *NICCtrl) tryGather(p *sim.Proc, cn *conn) {
 	remaining := r.want
 	off := 0
 	for remaining > 0 {
-		ext := cn.rxBufs[0]
+		ext := cn.rxBufs[cn.rxHead]
 		take := ext.n
 		if take > remaining {
 			take = remaining
@@ -477,11 +528,11 @@ func (c *NICCtrl) tryGather(p *sim.Proc, cn *conn) {
 		off += take
 		remaining -= take
 		if take == ext.n {
-			cn.rxBufs = cn.rxBufs[1:]
+			cn.rxHead++
 			c.eng.recvPool.Put(ext.buf)
 		} else {
-			cn.rxBufs[0].addr += mem.Addr(take)
-			cn.rxBufs[0].n -= take
+			cn.rxBufs[cn.rxHead].addr += mem.Addr(take)
+			cn.rxBufs[cn.rxHead].n -= take
 		}
 	}
 	cn.rxALen -= r.want

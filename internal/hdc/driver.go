@@ -140,7 +140,9 @@ func (d *Driver) drainCompletions() {
 	for {
 		slot := d.cplHead % entries
 		entryAddr := d.cplRing.Base + mem.Addr(slot*uint64(CplEntrySize))
-		raw := d.fab.Mem().Read(entryAddr, CplEntrySize)
+		// View: only the valid byte is rewritten before the fields are
+		// decoded, and aux below copies what it keeps.
+		raw := d.fab.Mem().View(entryAddr, CplEntrySize)
 		if raw[12] == 0 {
 			return // no more valid entries
 		}

@@ -349,11 +349,11 @@ func (e *Engine) parserLoop(p *sim.Proc) {
 			p.Sleep(engineStallDelay)
 		}
 		slot := e.cmdHead % uint64(e.params.CmdQueueEntries)
-		raw := make([]byte, CommandSize)
-		e.cmdq.ReadAt(slot*CommandSize, raw)
+		var raw [CommandSize]byte
+		e.cmdq.ReadAt(slot*CommandSize, raw[:])
 		e.cmdHead++
 		p.Sleep(e.params.CmdParse)
-		cmd, err := DecodeCommand(raw)
+		cmd, err := DecodeCommand(raw[:])
 		if err == nil {
 			err = cmd.Validate()
 		}

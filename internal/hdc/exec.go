@@ -84,7 +84,9 @@ func (e *Engine) fetchExtents(p *sim.Proc, cmdID uint32, addr uint64, count uint
 	buf := e.extBufs[int(cmdID)%len(e.extBufs)]
 	n := int(count) * ExtentEntrySize
 	e.fab.MustDMA(p, e.port, buf, mem.Addr(addr), n)
-	return DecodeExtents(e.fab.Mem().Read(buf, n), int(count))
+	// View: DecodeExtents copies into its own []ExtentEntry, nothing
+	// aliases the staging buffer after it returns.
+	return DecodeExtents(e.fab.Mem().View(buf, n), int(count))
 }
 
 // execute runs one D2D command through the scoreboard pipeline:
@@ -301,7 +303,11 @@ func (e *Engine) ndpStage(p *sim.Proc, cmd Command, window *sim.Resource,
 		entry.Aux = uint64(cmd.Fn)
 		entry.MarkReady(p)
 		entry.WaitDeps(p)
-		data := mm.Read(msg.buf, msg.n)
+		// View: msg.buf is not freed (and the window credit not
+		// released) until after StreamChunk returns, so the bytes are
+		// stable across its simulated delays. In-place units mutating
+		// the view write the same bytes mm.Write stores back below.
+		data := mm.View(msg.buf, msg.n)
 		outBytes, err := bank.StreamChunk(p, stream, data)
 		if err != nil {
 			panic(err)

@@ -111,6 +111,19 @@ func (r *Region) Bytes(off uint64, n int) []byte {
 	return r.data[off : off+uint64(n)]
 }
 
+// Zero clears [off, off+n) in place without allocating and fires the
+// write hook, exactly as writing n zero bytes would.
+func (r *Region) Zero(off uint64, n int) {
+	r.check(off, n)
+	b := r.data[off : off+uint64(n)]
+	for i := range b {
+		b[i] = 0
+	}
+	if r.writeHook != nil {
+		r.writeHook(off, n)
+	}
+}
+
 // Alloc carves n bytes (aligned) out of the region with a bump
 // allocator and returns the bus address. It panics when the region is
 // exhausted: the testbed sizes regions up front, as hardware does.
@@ -134,6 +147,13 @@ func (r *Region) FreeBytes() uint64 { return r.Size - r.allocOff }
 type Map struct {
 	regions []*Region
 	next    Addr
+
+	// last is a one-entry resolution cache in front of the binary
+	// search: device models hammer the same region (their own BAR or
+	// the host buffer they are streaming through) for long runs, so
+	// most Resolve calls hit here. Purely a lookup memo — it never
+	// affects results, only the cost of finding them.
+	last *Region
 }
 
 // NewMap returns an empty address map starting at 4 GiB (leaving the
@@ -159,10 +179,14 @@ func (m *Map) AddRegion(name string, kind Kind, size uint64, p2pTarget bool) *Re
 
 // Resolve returns the region containing addr and the offset within it.
 func (m *Map) Resolve(addr Addr) (*Region, uint64, error) {
+	if r := m.last; r != nil && r.Contains(addr) {
+		return r, uint64(addr - r.Base), nil
+	}
 	i := sort.Search(len(m.regions), func(i int) bool {
 		return m.regions[i].End() > addr
 	})
 	if i < len(m.regions) && m.regions[i].Contains(addr) {
+		m.last = m.regions[i]
 		return m.regions[i], uint64(addr - m.regions[i].Base), nil
 	}
 	return nil, 0, fmt.Errorf("mem: unmapped address %#x", uint64(addr))
@@ -178,8 +202,12 @@ func (m *Map) MustResolve(addr Addr) (*Region, uint64) {
 	return r, off
 }
 
-// Regions returns all mapped regions in address order.
-func (m *Map) Regions() []*Region { return append([]*Region(nil), m.regions...) }
+// Regions returns all mapped regions in address order. The returned
+// slice is the map's own backing store, not a copy: callers must only
+// iterate it (audited — internal/report and the tests do exactly
+// that) and must not append to, reorder, or mutate it. Returning the
+// live slice keeps per-call cost at zero for hot diagnostics.
+func (m *Map) Regions() []*Region { return m.regions }
 
 // Write copies p to the absolute address addr.
 func (m *Map) Write(addr Addr, p []byte) {
@@ -187,19 +215,62 @@ func (m *Map) Write(addr Addr, p []byte) {
 	r.WriteAt(off, p)
 }
 
-// Read copies n bytes from the absolute address addr.
+// Read copies n bytes from the absolute address addr into a freshly
+// allocated slice. Hot paths should prefer ReadInto (caller-owned
+// buffer) or View (no copy at all).
 func (m *Map) Read(addr Addr, n int) []byte {
-	r, off := m.MustResolve(addr)
 	p := make([]byte, n)
-	r.ReadAt(off, p)
+	m.ReadInto(addr, p)
 	return p
 }
 
-// Copy moves n bytes from src to dst through a bounce buffer,
-// preserving write-hook semantics at the destination.
+// ReadInto copies len(p) bytes from the absolute address addr into p
+// without allocating.
+func (m *Map) ReadInto(addr Addr, p []byte) {
+	r, off := m.MustResolve(addr)
+	r.ReadAt(off, p)
+}
+
+// View returns a slice aliasing the backing store of [addr, addr+n).
+// The span must be contiguous, i.e. lie inside one region — region
+// spans always are, since regions are separated by guard gaps.
+//
+// Aliasing rules (see DESIGN.md §11): the view is only valid until
+// the underlying buffer is rewritten or simulated time advances —
+// callers must either consume it immediately (decode, hash, copy out)
+// or take an explicit copy before parking. Writing through a View
+// bypasses the region write hook; use Write/WriteAt for stores that
+// must be observable.
+func (m *Map) View(addr Addr, n int) []byte {
+	r, off := m.MustResolve(addr)
+	return r.Bytes(off, n)
+}
+
+// Zero clears n bytes at addr in place, firing the write hook as a
+// write of n zero bytes would, without allocating a zero buffer.
+func (m *Map) Zero(addr Addr, n int) {
+	if n == 0 {
+		return
+	}
+	r, off := m.MustResolve(addr)
+	r.Zero(off, n)
+}
+
+// Copy moves n bytes from src to dst, preserving write-hook semantics
+// at the destination. Both spans live in this map, so the copy runs
+// region-to-region with no bounce buffer; Go's copy has memmove
+// semantics, so overlapping same-region spans behave exactly as the
+// old read-snapshot-then-write implementation did.
 func (m *Map) Copy(dst, src Addr, n int) {
 	if n == 0 {
 		return
 	}
-	m.Write(dst, m.Read(src, n))
+	sr, soff := m.MustResolve(src)
+	sr.check(soff, n)
+	dr, doff := m.MustResolve(dst)
+	dr.check(doff, n)
+	copy(dr.data[doff:doff+uint64(n)], sr.data[soff:soff+uint64(n)])
+	if dr.writeHook != nil {
+		dr.writeHook(doff, n)
+	}
 }

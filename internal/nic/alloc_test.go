@@ -1,0 +1,39 @@
+package nic
+
+import "testing"
+
+// BD and completion marshalling runs once per frame (often several
+// times per frame); the NIC's ring engines rely on it staying
+// allocation-free.
+
+func TestSendBDCodecZeroAlloc(t *testing.T) {
+	bd := SendBD{Addr: 0x4000, Len: 1500, Flags: SendFlagLSO | SendFlagEnd, MSS: 1460}
+	var sink SendBD
+	if n := testing.AllocsPerRun(100, func() {
+		enc := bd.Encode()
+		got, err := DecodeSendBD(enc[:])
+		if err != nil {
+			panic(err)
+		}
+		sink = got
+	}); n != 0 {
+		t.Fatalf("send-BD encode/decode allocates %v per run", n)
+	}
+	_ = sink
+}
+
+func TestRecvCplCodecZeroAlloc(t *testing.T) {
+	c := RecvCpl{BDIndex: 3, HdrLen: 54, PayLen: 1460, Seq: 1000, Flags: 1, Valid: 1}
+	var sink RecvCpl
+	if n := testing.AllocsPerRun(100, func() {
+		enc := c.Encode()
+		got, err := DecodeRecvCpl(enc[:])
+		if err != nil {
+			panic(err)
+		}
+		sink = got
+	}); n != 0 {
+		t.Fatalf("recv-cpl encode/decode allocates %v per run", n)
+	}
+	_ = sink
+}

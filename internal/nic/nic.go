@@ -105,10 +105,20 @@ type nicQueue struct {
 	cplStage mem.Addr
 
 	bdCache   []RecvBD  // prefetched receive descriptors
+	bdHead    int       // next unconsumed bdCache entry
 	cplBuf    []RecvCpl // completions awaiting a coalesced flush
 	cplFirst  uint64    // cumulative index of cplBuf[0]
 	cplIssued uint64    // completions assigned an index (issue order)
+
+	// Reused per-packet scratch (send-BD chain, LSO segments): one
+	// packet is in flight per queue at a time, so a single slice each
+	// makes the transmit path allocation-free in steady state.
+	chain []SendBD
+	segs  []ether.Segment
 }
+
+// bdLen returns the number of prefetched, unconsumed receive BDs.
+func (q *nicQueue) bdLen() int { return len(q.bdCache) - q.bdHead }
 
 // NIC is the device model.
 type NIC struct {
@@ -138,8 +148,65 @@ type NIC struct {
 	txReplays            int64 // wire corruptions replayed by the link layer
 	bdRefetches          int64 // stuck descriptor fetches re-read
 
+	// Deterministic free lists (DESIGN.md §11): frameFree recycles
+	// consumed frame buffers back to the marshalling side, fdFree
+	// recycles wire-delivery records and their bound callbacks. Both
+	// are LIFO lists driven only from the simulated timeline.
+	frameFree [][]byte
+	fdFree    []*frameDelivery
+
 	// RxPerQueue counts delivered frames per queue (diagnostics).
 	RxPerQueue map[uint16]int64
+}
+
+// framePoolCap bounds the recycled-frame list; one-directional traffic
+// would otherwise grow the receiver's pool without bound.
+const framePoolCap = 256
+
+func (n *NIC) getFrameBuf() []byte {
+	if k := len(n.frameFree); k > 0 {
+		b := n.frameFree[k-1]
+		n.frameFree = n.frameFree[:k-1]
+		return b
+	}
+	return nil
+}
+
+func (n *NIC) putFrameBuf(b []byte) {
+	if len(n.frameFree) < framePoolCap {
+		n.frameFree = append(n.frameFree, b)
+	}
+}
+
+// frameDelivery is one propagation-delayed frame hand-off to the peer
+// NIC. fn is the record's bound deliver method, created once per
+// record and reused.
+type frameDelivery struct {
+	nic   *NIC
+	to    *sim.Queue[[]byte]
+	frame []byte
+	fn    func()
+}
+
+func (d *frameDelivery) deliver() {
+	d.to.Put(d.frame)
+	d.frame = nil
+	d.nic.fdFree = append(d.nic.fdFree, d)
+}
+
+// scheduleDelivery hands frame to q after the wire propagation delay
+// without allocating a closure per frame.
+func (n *NIC) scheduleDelivery(q *sim.Queue[[]byte], frame []byte) {
+	var d *frameDelivery
+	if k := len(n.fdFree); k > 0 {
+		d = n.fdFree[k-1]
+		n.fdFree = n.fdFree[:k-1]
+	} else {
+		d = &frameDelivery{nic: n}
+		d.fn = d.deliver
+	}
+	d.to, d.frame = q, frame
+	n.env.Schedule(n.params.PropDelay, d.fn)
 }
 
 // NewNIC builds the device on a new fabric port.
@@ -198,19 +265,19 @@ func (n *NIC) txWireLoop(p *sim.Proc) {
 			peer := n.peer
 			if peer == nil {
 				n.drops++
+				n.putFrameBuf(f.frame)
 				break
 			}
 			if attempt < frameReplayCap && n.params.Faults.Hit(fault.NICCorruptFrame) {
 				n.txReplays++
 				bad := append([]byte(nil), f.frame...)
 				bad[len(bad)-1] ^= 0xFF // breaks the TCP checksum
-				n.env.Schedule(n.params.PropDelay, func() { peer.rxQ.Put(bad) })
+				n.scheduleDelivery(peer.rxQ, bad)
 				p.Sleep(2 * n.params.PropDelay) // NAK round trip
 				continue
 			}
 			n.txPayload += int64(f.payLen)
-			frame := f.frame
-			n.env.Schedule(n.params.PropDelay, func() { peer.rxQ.Put(frame) })
+			n.scheduleDelivery(peer.rxQ, f.frame)
 			break
 		}
 	}
@@ -333,7 +400,7 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 			q.sendKick.Wait(p)
 		}
 		// Collect one packet chain (BDs up to and including END).
-		var chain []SendBD
+		chain := q.chain[:0]
 		head := q.sendHead
 		for {
 			if head == q.sendTail {
@@ -352,7 +419,7 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 				n.fab.MustDMA(p, n.port, q.scratch, bdAddr, SendBDSize)
 				p.Sleep(n.params.BDFetch)
 			}
-			bd, err := DecodeSendBD(mm.Read(q.scratch, SendBDSize))
+			bd, err := DecodeSendBD(mm.View(q.scratch, SendBDSize))
 			if err != nil {
 				panic(err) // corrupted ring memory is a modelling bug
 			}
@@ -365,6 +432,7 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 				panic("nic: runaway BD chain without END flag")
 			}
 		}
+		q.chain = chain
 
 		// Gather the chain into the queue's staging buffer.
 		off := 0
@@ -375,7 +443,10 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 			n.fab.MustDMA(p, n.port, q.txStage+mem.Addr(off), bd.Addr, int(bd.Len))
 			off += int(bd.Len)
 		}
-		raw := mm.Read(q.txStage, off)
+		// The staging view is stable for the whole transmit: only this
+		// queue's txLoop writes q.txStage, and Marshal copies each
+		// segment before it reaches the FIFO.
+		raw := mm.View(q.txStage, off)
 		n.transmit(p, q, chain[0], raw)
 
 		q.sendHead = head
@@ -402,18 +473,22 @@ func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
 		n.drops++
 		return
 	}
+	// Segment payloads alias the staging buffer (raw); that is safe
+	// because Marshal copies every byte into the frame before the
+	// staging buffer can be rewritten.
 	payload := raw[ether.HeadersLen:]
-	var segs []ether.Segment
+	segs := q.segs[:0]
 	if first.Flags&SendFlagLSO != 0 {
-		segs = ether.Segmentize(proto.Flow, proto.Seq, payload, int(first.MSS))
+		segs = ether.AppendSegments(segs, proto.Flow, proto.Seq, payload, int(first.MSS))
 	} else {
 		if len(payload) > ether.MSS {
 			n.drops++
 			return
 		}
-		segs = []ether.Segment{{Flow: proto.Flow, Seq: proto.Seq, Ack: proto.Ack,
-			Flags: proto.Flags | ether.FlagACK, Payload: append([]byte(nil), payload...)}}
+		segs = append(segs, ether.Segment{Flow: proto.Flow, Seq: proto.Seq, Ack: proto.Ack,
+			Flags: proto.Flags | ether.FlagACK, Payload: payload})
 	}
+	q.segs = segs
 	for i := range segs {
 		for n.txFIFO.Len() >= txFIFOCap {
 			n.txSpace.Wait(p)
@@ -421,7 +496,9 @@ func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
 		// Per-frame pipeline cost overlaps wire serialization: it is
 		// paid here, in the build stage, not on the wire.
 		p.Sleep(n.params.TxOverhead)
-		frame := segs[i].Marshal() // checksum offload happens here
+		// Checksum offload happens in MarshalTo; recycled frame
+		// buffers make steady-state transmission allocation-free.
+		frame := segs[i].MarshalTo(n.getFrameBuf())
 		n.txFIFO.Put(outFrame{frame: frame, wireLen: segs[i].WireLen(), payLen: len(segs[i].Payload)})
 	}
 }
@@ -449,7 +526,13 @@ func (n *NIC) fetchRecvBDs(p *sim.Proc, q *nicQueue) {
 	bdAddr := q.cfg.RecvRing.Base + mem.Addr(slot*RecvBDSize)
 	n.fab.MustDMA(p, n.port, q.rxStage, bdAddr, batch*RecvBDSize)
 	p.Sleep(n.params.BDFetch)
-	raw := n.fab.Mem().Read(q.rxStage, batch*RecvBDSize)
+	if q.bdHead == len(q.bdCache) {
+		// Fully drained: rewind so the cache's capacity is reused
+		// instead of resliced away.
+		q.bdCache = q.bdCache[:0]
+		q.bdHead = 0
+	}
+	raw := n.fab.Mem().View(q.rxStage, batch*RecvBDSize)
 	for i := 0; i < batch; i++ {
 		bd, err := DecodeRecvBD(raw[i*RecvBDSize:])
 		if err != nil {
@@ -475,13 +558,14 @@ func (n *NIC) flushCompletions(p *sim.Proc, q *nicQueue) {
 		if room := q.cfg.RecvEntries - int(slot); run > room {
 			run = room
 		}
-		buf := make([]byte, run*RecvCplSize)
+		// Encode straight into the staging region (device-internal, no
+		// write hook) instead of through a bounce buffer.
+		stage, stageOff := mm.MustResolve(q.cplStage)
 		for j := 0; j < run; j++ {
 			enc := q.cplBuf[i+j].Encode()
-			copy(buf[j*RecvCplSize:], enc[:])
+			stage.WriteAt(stageOff+uint64(j*RecvCplSize), enc[:])
 		}
-		mm.Write(q.cplStage, buf)
-		n.fab.MustDMA(p, n.port, q.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), q.cplStage, len(buf))
+		n.fab.MustDMA(p, n.port, q.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), q.cplStage, run*RecvCplSize)
 		i += run
 		idx += uint64(run)
 	}
@@ -525,9 +609,13 @@ func (n *NIC) rxLoop(p *sim.Proc) {
 	for {
 		frame := n.rxQ.Get(p)
 		p.Sleep(n.params.RxDemux)
-		seg, err := ether.Parse(frame)
+		// The view-parsed payload aliases frame; both travel together
+		// in the rxFrame and the payload is copied into the receive
+		// buffer before the frame is recycled.
+		seg, err := ether.ParseView(frame)
 		if err != nil {
 			n.rxErrors++
+			n.putFrameBuf(frame)
 			continue
 		}
 		qid, ok := n.steering[seg.Flow.Tuple()]
@@ -537,6 +625,7 @@ func (n *NIC) rxLoop(p *sim.Proc) {
 		q, exists := n.queues[qid]
 		if !exists {
 			n.drops++
+			n.putFrameBuf(frame)
 			continue
 		}
 		for q.rxFIFO.Len() >= rxQueueCap {
@@ -560,15 +649,15 @@ func (n *NIC) rxQueueLoop(p *sim.Proc, q *nicQueue) {
 		// queue pauses until the consumer recycles some. In-flight DMAs
 		// retire meanwhile and the completer flushes them, so the
 		// consumer always sees enough completions to make progress.
-		for len(q.bdCache) == 0 {
+		for q.bdLen() == 0 {
 			n.fetchRecvBDs(p, q)
-			if len(q.bdCache) > 0 {
+			if q.bdLen() > 0 {
 				break
 			}
 			q.recvKick.Wait(p)
 		}
-		bd := q.bdCache[0]
-		q.bdCache = q.bdCache[1:]
+		bd := q.bdCache[q.bdHead]
+		q.bdHead++
 		bdIndex := uint32(q.cplIssued % uint64(q.cfg.RecvEntries))
 
 		hdr := rf.frame[:ether.HeadersLen]
@@ -585,21 +674,25 @@ func (n *NIC) rxQueueLoop(p *sim.Proc, q *nicQueue) {
 			if int(bd.Len) < HdrOff+len(pay) {
 				n.drops++
 				q.rxSlots.Put(slot)
+				n.putFrameBuf(rf.frame)
 				continue
 			}
-			mm.Write(slot, make([]byte, HdrOff))
+			mm.Zero(slot, HdrOff)
 			mm.Write(slot, hdr)
 			if len(pay) > 0 {
 				mm.Write(slot+HdrOff, pay)
 			}
+			n.putFrameBuf(rf.frame) // hdr and pay copied into the slot
 			sig = n.fab.DMAAsync(n.port, bd.Addr, slot, HdrOff+len(pay))
 		} else {
 			if int(bd.Len) < len(rf.frame) {
 				n.drops++
 				q.rxSlots.Put(slot)
+				n.putFrameBuf(rf.frame)
 				continue
 			}
 			mm.Write(slot, rf.frame)
+			n.putFrameBuf(rf.frame)
 			sig = n.fab.DMAAsync(n.port, bd.Addr, slot, len(rf.frame))
 		}
 		q.cplIssued++
@@ -613,6 +706,9 @@ func (n *NIC) rxCplLoop(p *sim.Proc, q *nicQueue) {
 	for {
 		pend := q.rxPend.Get(p)
 		pend.sig.Wait(p)
+		// This loop is the signal's only waiter, so it can be recycled
+		// as soon as the completion is observed.
+		n.fab.RecycleAsyncSignal(pend.sig)
 		q.rxSlots.Put(pend.slot)
 		n.rxFrames++
 		n.rxPayload += int64(pend.pay)
@@ -631,7 +727,7 @@ func (n *NIC) DebugQueues() string {
 	out := fmt.Sprintf("%s: rxQ=%d txFIFO=%d", n.Name, n.rxQ.Len(), n.txFIFO.Len())
 	for _, q := range n.queueList {
 		out += fmt.Sprintf("\n  q%d: sendTail=%d sendHead=%d recvTail=%d recvHead=%d bdCache=%d cplBuf=%d cplN=%d rxFIFO=%d armed=%v",
-			q.cfg.QID, q.sendTail, q.sendHead, q.recvTail, q.recvHead, len(q.bdCache), len(q.cplBuf), q.recvCplN, q.rxFIFO.Len(), q.armed)
+			q.cfg.QID, q.sendTail, q.sendHead, q.recvTail, q.recvHead, q.bdLen(), len(q.cplBuf), q.recvCplN, q.rxFIFO.Len(), q.armed)
 	}
 	return out
 }

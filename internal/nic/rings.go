@@ -26,7 +26,7 @@ func NewSendRing(fab *pcie.Fabric, n *NIC, cfg QueueConfig) *SendRing {
 // Completed reads the cumulative completed-BD counter (submitter-local
 // memory read).
 func (r *SendRing) Completed() uint64 {
-	return le64(r.fab.Mem().Read(r.cfg.SendStatus, 8))
+	return le64(r.fab.Mem().View(r.cfg.SendStatus, 8))
 }
 
 // FreeSlots returns the number of BD slots currently available.
@@ -118,7 +118,7 @@ func (r *RecvRing) Arm() {
 
 // Completions reads the cumulative completion counter.
 func (r *RecvRing) Completions() uint64 {
-	return le64(r.fab.Mem().Read(r.cfg.RecvStatus, 8))
+	return le64(r.fab.Mem().View(r.cfg.RecvStatus, 8))
 }
 
 // Outstanding returns posted-but-unfilled buffer count as seen by the
@@ -139,11 +139,16 @@ type Filled struct {
 // Poll consumes all available completions (submitter-local memory
 // reads) and returns them with their buffer addresses resolved.
 func (r *RecvRing) Poll() []Filled {
+	return r.AppendPoll(nil)
+}
+
+// AppendPoll is Poll into a caller-owned slice: consumers that poll in
+// a loop reuse one scratch slice and allocate nothing per wake.
+func (r *RecvRing) AppendPoll(out []Filled) []Filled {
 	avail := r.Completions()
-	var out []Filled
 	for r.cplHead < avail {
 		slot := r.cplHead % uint64(r.cfg.RecvEntries)
-		raw := r.fab.Mem().Read(r.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), RecvCplSize)
+		raw := r.fab.Mem().View(r.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), RecvCplSize)
 		cpl, err := DecodeRecvCpl(raw)
 		if err != nil {
 			panic(err)

@@ -1,0 +1,39 @@
+package nvme
+
+import "testing"
+
+// SQE/CQE marshalling runs once per simulated NVMe command on both the
+// host driver path and the HDC Engine's hardware controller; the ring
+// loops rely on it staying allocation-free.
+
+func TestCommandCodecZeroAlloc(t *testing.T) {
+	cmd := Command{Opcode: OpRead, CID: 7, NSID: 1, PRP1: 0x1000, PRP2: 0x2000, SLBA: 42, NLB: 7}
+	var sink Command
+	if n := testing.AllocsPerRun(100, func() {
+		b := cmd.Encode()
+		got, err := DecodeCommand(b[:])
+		if err != nil {
+			panic(err)
+		}
+		sink = got
+	}); n != 0 {
+		t.Fatalf("command encode/decode allocates %v per run", n)
+	}
+	_ = sink
+}
+
+func TestCompletionCodecZeroAlloc(t *testing.T) {
+	cpl := Completion{Result: 3, SQHead: 9, SQID: 1, CID: 7, Status: StatusSuccess, Phase: true}
+	var sink Completion
+	if n := testing.AllocsPerRun(100, func() {
+		b := cpl.Encode()
+		got, err := DecodeCompletion(b[:])
+		if err != nil {
+			panic(err)
+		}
+		sink = got
+	}); n != 0 {
+		t.Fatalf("completion encode/decode allocates %v per run", n)
+	}
+	_ = sink
+}

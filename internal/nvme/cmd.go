@@ -157,7 +157,16 @@ func BuildPRPs(mm *mem.Map, pages []mem.Addr, listBuf mem.Addr) (mem.Addr, mem.A
 	case len(pages) == 2:
 		return pages[0], pages[1], nil
 	default:
-		buf := make([]byte, 8*(len(pages)-1))
+		// Commands are capped at MaxBlocksPerCmd pages, so the list
+		// fits a stack buffer; longer lists (none in the testbed) fall
+		// back to the heap.
+		var stack [8 * (MaxBlocksPerCmd - 1)]byte
+		buf := stack[:]
+		if need := 8 * (len(pages) - 1); need <= len(buf) {
+			buf = buf[:need]
+		} else {
+			buf = make([]byte, need)
+		}
 		for i, pg := range pages[1:] {
 			binary.LittleEndian.PutUint64(buf[8*i:], uint64(pg))
 		}
@@ -168,30 +177,42 @@ func BuildPRPs(mm *mem.Map, pages []mem.Addr, listBuf mem.Addr) (mem.Addr, mem.A
 
 // ReadPRPList decodes n page addresses from a PRP list at addr.
 func ReadPRPList(mm *mem.Map, addr mem.Addr, n int) []mem.Addr {
-	raw := mm.Read(addr, 8*n)
-	out := make([]mem.Addr, n)
-	for i := range out {
-		out[i] = mem.Addr(binary.LittleEndian.Uint64(raw[8*i:]))
+	return AppendPRPList(make([]mem.Addr, 0, n), mm, addr, n)
+}
+
+// AppendPRPList is ReadPRPList into a caller-owned slice: it decodes
+// straight out of a memory view and allocates nothing when dst has
+// capacity.
+func AppendPRPList(dst []mem.Addr, mm *mem.Map, addr mem.Addr, n int) []mem.Addr {
+	raw := mm.View(addr, 8*n)
+	for i := 0; i < n; i++ {
+		dst = append(dst, mem.Addr(binary.LittleEndian.Uint64(raw[8*i:])))
 	}
-	return out
+	return dst
 }
 
 // DataPages resolves a command's PRP fields to the full page list.
 func DataPages(mm *mem.Map, cmd Command) ([]mem.Addr, error) {
+	return AppendDataPages(nil, mm, cmd)
+}
+
+// AppendDataPages is DataPages into a caller-owned scratch slice, the
+// allocation-free form device models use per command.
+func AppendDataPages(dst []mem.Addr, mm *mem.Map, cmd Command) ([]mem.Addr, error) {
 	n := cmd.Blocks()
 	switch {
 	case n == 1:
-		return []mem.Addr{cmd.PRP1}, nil
+		return append(dst, cmd.PRP1), nil
 	case n == 2:
 		if cmd.PRP2 == 0 {
 			return nil, fmt.Errorf("nvme: 2-block command without PRP2")
 		}
-		return []mem.Addr{cmd.PRP1, cmd.PRP2}, nil
+		return append(dst, cmd.PRP1, cmd.PRP2), nil
 	default:
 		if cmd.PRP2 == 0 {
 			return nil, fmt.Errorf("nvme: %d-block command without PRP list", n)
 		}
-		pages := append([]mem.Addr{cmd.PRP1}, ReadPRPList(mm, cmd.PRP2, n-1)...)
-		return pages, nil
+		dst = append(dst, cmd.PRP1)
+		return AppendPRPList(dst, mm, cmd.PRP2, n-1), nil
 	}
 }

@@ -94,10 +94,10 @@ func (r *Ring) RingDoorbell() {
 // completions consumed. Safe to call from a write hook or IRQ path.
 func (r *Ring) ProcessCompletions() int {
 	n := 0
+	var raw [CompletionSize]byte
 	for {
-		raw := make([]byte, CompletionSize)
-		r.cfg.CQ.ReadAt(uint64(r.cqHead)*CompletionSize, raw)
-		cpl, err := DecodeCompletion(raw)
+		r.cfg.CQ.ReadAt(uint64(r.cqHead)*CompletionSize, raw[:])
+		cpl, err := DecodeCompletion(raw[:])
 		if err != nil || cpl.Phase != r.phase {
 			break
 		}

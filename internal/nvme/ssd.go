@@ -63,9 +63,27 @@ type SSD struct {
 	flash map[uint64][]byte
 	qps   map[uint16]*devQP
 
+	// Command-execution worker pool: finished workers park on
+	// execJobs instead of exiting, so steady-state command execution
+	// reuses proc stacks and scratch slices rather than allocating
+	// per command. A deterministic free list, not sync.Pool — see
+	// DESIGN.md §11.
+	execJobs *sim.Queue[execJob]
+	execIdle int
+
+	// zeroBlock is the shared read-only content of never-written LBAs.
+	zeroBlock []byte
+
 	cmdsDone int64
 	bytesRd  int64
 	bytesWr  int64
+}
+
+// execJob is one fetched command handed to an execution worker.
+type execJob struct {
+	qp     *devQP
+	cmd    Command
+	sqHead int
 }
 
 type devQP struct {
@@ -87,12 +105,14 @@ type devQP struct {
 // attaching them to a new fabric port.
 func NewSSD(env *sim.Env, fab *pcie.Fabric, name string, params Params) *SSD {
 	s := &SSD{
-		Name:   name,
-		env:    env,
-		fab:    fab,
-		params: params,
-		flash:  map[uint64][]byte{},
-		qps:    map[uint16]*devQP{},
+		Name:      name,
+		env:       env,
+		fab:       fab,
+		params:    params,
+		flash:     map[uint64][]byte{},
+		qps:       map[uint16]*devQP{},
+		execJobs:  sim.NewQueue[execJob](env, name+"-exec-jobs"),
+		zeroBlock: make([]byte, BlockSize),
 	}
 	s.port = fab.AddPort(name)
 	mm := fab.Mem()
@@ -175,7 +195,7 @@ func (s *SSD) qpLoop(p *sim.Proc, qp *devQP) {
 		// Fetch the SQE by DMA into the QP's staging scratch.
 		sqeAddr := qp.cfg.SQ.Base + mem.Addr(uint64(qp.sqHead)*CommandSize)
 		s.fab.MustDMA(p, s.port, qp.sqeBuf, sqeAddr, CommandSize)
-		cmd, err := DecodeCommand(s.fab.Mem().Read(qp.sqeBuf, CommandSize))
+		cmd, err := DecodeCommand(s.fab.Mem().View(qp.sqeBuf, CommandSize))
 		sqHead := (qp.sqHead + 1) % qp.cfg.Entries
 		qp.sqHead = sqHead
 		if err != nil {
@@ -184,18 +204,37 @@ func (s *SSD) qpLoop(p *sim.Proc, qp *devQP) {
 		}
 		p.Sleep(s.params.CmdDecode)
 		// Execute concurrently up to the channel count; completions may
-		// land out of order, which the CID matching absorbs.
-		cmdCopy := cmd
-		s.env.Spawn(fmt.Sprintf("%s-exec-cid%d", s.Name, cmd.CID), func(ep *sim.Proc) {
-			s.exec.Acquire(ep)
-			status := s.execute(ep, cmdCopy)
-			s.exec.Release()
-			s.complete(ep, qp, Completion{CID: cmdCopy.CID, SQHead: uint16(sqHead), SQID: qp.cfg.QID, Status: status})
-		})
+		// land out of order, which the CID matching absorbs. Handing the
+		// job to a parked pool worker enqueues the same resume event a
+		// fresh Spawn would, so pooling does not perturb event order.
+		job := execJob{qp: qp, cmd: cmd, sqHead: sqHead}
+		if s.execIdle > 0 {
+			s.execIdle--
+			s.execJobs.Put(job)
+		} else {
+			s.env.Spawn(s.Name+"-exec", func(ep *sim.Proc) { s.execWorker(ep, job) })
+		}
 	}
 }
 
-func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
+// execWorker runs fetched commands for the lifetime of the SSD,
+// parking on the job queue between commands. The PRP-page and
+// DMA-extent scratch slices live for the worker's lifetime, so
+// steady-state execution allocates nothing.
+func (s *SSD) execWorker(ep *sim.Proc, job execJob) {
+	pages := make([]mem.Addr, 0, MaxBlocksPerCmd)
+	exts := make([]mem.Extent, 0, MaxBlocksPerCmd)
+	for {
+		s.exec.Acquire(ep)
+		status := s.execute(ep, job.cmd, &pages, &exts)
+		s.exec.Release()
+		s.complete(ep, job.qp, Completion{CID: job.cmd.CID, SQHead: uint16(job.sqHead), SQID: job.qp.cfg.QID, Status: status})
+		s.execIdle++
+		job = s.execJobs.Get(ep)
+	}
+}
+
+func (s *SSD) execute(p *sim.Proc, cmd Command, pageScratch *[]mem.Addr, extScratch *[]mem.Extent) uint16 {
 	switch cmd.Opcode {
 	case OpFlush:
 		p.Sleep(s.params.WriteLatency)
@@ -207,10 +246,11 @@ func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
 	if cmd.Blocks() > MaxBlocksPerCmd {
 		return StatusInvalidPRP
 	}
-	pages, err := DataPages(s.fab.Mem(), cmd)
+	pages, err := AppendDataPages((*pageScratch)[:0], s.fab.Mem(), cmd)
 	if err != nil {
 		return StatusInvalidPRP
 	}
+	*pageScratch = pages
 	slot := s.slotQ.Get(p)
 	defer s.slotQ.Put(slot)
 	n := cmd.Bytes()
@@ -227,12 +267,12 @@ func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
 		for i := 0; i < cmd.Blocks(); i++ {
 			s.fab.Mem().Write(slot+mem.Addr(i*BlockSize), s.readBlock(cmd.SLBA+uint64(i)))
 		}
-		if err := s.dmaPages(p, pages, slot, true); err != nil {
+		if err := s.dmaPages(p, pages, slot, true, extScratch); err != nil {
 			return StatusInvalidPRP
 		}
 		s.bytesRd += int64(n)
 	} else {
-		if err := s.dmaPages(p, pages, slot, false); err != nil {
+		if err := s.dmaPages(p, pages, slot, false, extScratch); err != nil {
 			return StatusInvalidPRP
 		}
 		p.Sleep(s.params.WriteLatency)
@@ -243,7 +283,16 @@ func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
 		}
 		s.writeBW.Transfer(p, n)
 		for i := 0; i < cmd.Blocks(); i++ {
-			s.flash[cmd.SLBA+uint64(i)] = s.fab.Mem().Read(slot+mem.Addr(i*BlockSize), BlockSize)
+			// Overwrites land in the existing block — the flash map is
+			// the device's deterministic block cache; only first writes
+			// to an LBA allocate.
+			lba := cmd.SLBA + uint64(i)
+			blk, ok := s.flash[lba]
+			if !ok {
+				blk = make([]byte, BlockSize)
+				s.flash[lba] = blk
+			}
+			s.fab.Mem().ReadInto(slot+mem.Addr(i*BlockSize), blk)
 		}
 		s.bytesWr += int64(n)
 	}
@@ -252,30 +301,22 @@ func (s *SSD) execute(p *sim.Proc, cmd Command) uint16 {
 }
 
 // dmaPages moves data between the staging slot and the PRP pages,
-// coalescing physically contiguous pages into single DMA bursts.
-// toPages=true moves staging->pages (read command).
-func (s *SSD) dmaPages(p *sim.Proc, pages []mem.Addr, slot mem.Addr, toPages bool) error {
-	i := 0
-	off := 0
-	for i < len(pages) {
+// coalescing physically contiguous pages into extents and issuing one
+// vectored DMA. toPages=true moves staging->pages (a read command
+// scatters the slot across the pages); toPages=false gathers the
+// pages into the slot.
+func (s *SSD) dmaPages(p *sim.Proc, pages []mem.Addr, slot mem.Addr, toPages bool, extScratch *[]mem.Extent) error {
+	exts := (*extScratch)[:0]
+	for i := 0; i < len(pages); {
 		j := i + 1
 		for j < len(pages) && pages[j] == pages[j-1]+BlockSize {
 			j++
 		}
-		n := (j - i) * BlockSize
-		var err error
-		if toPages {
-			err = s.fab.DMA(p, s.port, pages[i], slot+mem.Addr(off), n)
-		} else {
-			err = s.fab.DMA(p, s.port, slot+mem.Addr(off), pages[i], n)
-		}
-		if err != nil {
-			return err
-		}
-		off += n
+		exts = append(exts, mem.Extent{Addr: pages[i], Len: (j - i) * BlockSize})
 		i = j
 	}
-	return nil
+	*extScratch = exts
+	return s.fab.DMAVec(p, s.port, slot, exts, !toPages)
 }
 
 func (s *SSD) complete(p *sim.Proc, qp *devQP, cpl Completion) {
@@ -300,12 +341,14 @@ func (s *SSD) complete(p *sim.Proc, qp *devQP, cpl Completion) {
 	}
 }
 
-// readBlock returns the flash content of lba (zeroes if never written).
+// readBlock returns the flash content of lba. Never-written LBAs read
+// as the shared zero block, which no caller may mutate (every use
+// copies out of it).
 func (s *SSD) readBlock(lba uint64) []byte {
 	if b, ok := s.flash[lba]; ok {
 		return b
 	}
-	return make([]byte, BlockSize)
+	return s.zeroBlock
 }
 
 // Preload writes data directly into flash at setup time (no simulated

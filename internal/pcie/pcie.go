@@ -99,6 +99,44 @@ type Fabric struct {
 	// without this a delayed command-slot write could be overtaken
 	// by its own doorbell.
 	postedClock sim.Time
+
+	// Async-DMA engine state: instead of spawning a fresh proc (and
+	// allocating its stack and completion signal) per DMAAsync call,
+	// finished transfers park their worker on asyncJobs and recycle
+	// their signal through sigFree. Both are plain LIFO/FIFO lists
+	// drained on the simulated timeline, so reuse order is
+	// deterministic — see DESIGN.md §11.
+	asyncJobs *sim.Queue[asyncJob]
+	asyncIdle int // workers parked on asyncJobs right now
+	sigFree   []*sim.Signal
+
+	// pwFree recycles posted-write delivery records (and their bound
+	// callbacks) so every doorbell ring doesn't allocate a closure.
+	pwFree []*postedWrite
+}
+
+// postedWrite is one in-flight posted write. fn is the record's bound
+// deliver method, created once per record and reused.
+type postedWrite struct {
+	f    *Fabric
+	addr mem.Addr
+	val  uint64
+	fn   func()
+}
+
+func (pw *postedWrite) deliver() {
+	var b [8]byte
+	putLE64(b[:], pw.val)
+	pw.f.mem.Write(pw.addr, b[:])
+	pw.f.pwFree = append(pw.f.pwFree, pw)
+}
+
+// asyncJob is one queued DMAAsync transfer.
+type asyncJob struct {
+	initiator *Port
+	dst, src  mem.Addr
+	n         int
+	sig       *sim.Signal
 }
 
 // NewFabric returns a fabric over the given address map.
@@ -107,12 +145,13 @@ func NewFabric(env *sim.Env, m *mem.Map, params Params) *Fabric {
 		params.CoreBps = 80e9
 	}
 	return &Fabric{
-		env:    env,
-		mem:    m,
-		params: params,
-		owner:  map[*mem.Region]*Port{},
-		core:   sim.NewBandwidthServer(env, "pcie-core", params.CoreBps, 0),
-		msi:    map[int]func(){},
+		env:       env,
+		mem:       m,
+		params:    params,
+		owner:     map[*mem.Region]*Port{},
+		core:      sim.NewBandwidthServer(env, "pcie-core", params.CoreBps, 0),
+		msi:       map[int]func(){},
+		asyncJobs: sim.NewQueue[asyncJob](env, "dma-async-jobs"),
 	}
 }
 
@@ -241,19 +280,94 @@ func (f *Fabric) DMA(p *sim.Proc, initiator *Port, dst, src mem.Addr, n int) err
 // completes — the "multiple outstanding tags" mode DMA engines use to
 // hide per-transaction latency. Policy errors panic (callers validate
 // paths at configuration time).
+//
+// Transfers run on a free-listed pool of worker procs: a new worker is
+// spawned only when every existing one is busy. Handing a job to a
+// parked worker and spawning a fresh proc both enqueue exactly one
+// proc-resume event at the current instant, so the pooled and the
+// spawn-per-call implementations dispatch in identical (time, seq)
+// order — the pool changes allocation cost, not the event timeline.
+// The returned signal may be recycled via RecycleAsyncSignal once the
+// waiter has consumed the completion.
 func (f *Fabric) DMAAsync(initiator *Port, dst, src mem.Addr, n int) *sim.Signal {
-	sig := sim.NewSignal(f.env)
+	var sig *sim.Signal
+	if k := len(f.sigFree); k > 0 {
+		sig = f.sigFree[k-1]
+		f.sigFree = f.sigFree[:k-1]
+	} else {
+		sig = sim.NewSignal(f.env)
+	}
+	if f.asyncIdle > 0 {
+		// Reserve the worker now: a second DMAAsync in the same instant
+		// must not count this one as still idle. The job literal stays
+		// out of the closure below so this warm path never heap-escapes.
+		f.asyncIdle--
+		f.asyncJobs.Put(asyncJob{initiator: initiator, dst: dst, src: src, n: n, sig: sig})
+		return sig
+	}
+	job := asyncJob{initiator: initiator, dst: dst, src: src, n: n, sig: sig}
 	f.env.Spawn("dma-async", func(p *sim.Proc) {
-		f.MustDMA(p, initiator, dst, src, n)
-		sig.Fire(nil)
+		for {
+			f.MustDMA(p, job.initiator, job.dst, job.src, job.n)
+			job.sig.Fire(nil)
+			f.asyncIdle++
+			job = f.asyncJobs.Get(p)
+		}
 	})
 	return sig
+}
+
+// RecycleAsyncSignal returns a consumed DMAAsync completion signal to
+// the free list. Optional — callers that retain the signal simply let
+// the GC have it — but hot async paths (the NIC receive engine) call
+// it to make async DMA allocation-free in steady state. The caller
+// must be the sole waiter and must have already observed the fire.
+func (f *Fabric) RecycleAsyncSignal(sig *sim.Signal) {
+	sig.Reset()
+	f.sigFree = append(f.sigFree, sig)
 }
 
 // MustDMA is DMA that panics on policy errors; device models use it on
 // paths that were validated at configuration time.
 func (f *Fabric) MustDMA(p *sim.Proc, initiator *Port, dst, src mem.Addr, n int) {
 	if err := f.DMA(p, initiator, dst, src, n); err != nil {
+		panic(err)
+	}
+}
+
+// DMAVec moves a scatter-gather list in one call. When gather is true
+// the extents are sources, copied in order into a contiguous window
+// starting at base; when false base is the source window, scattered
+// across the extents. Zero-length extents are skipped, like a
+// zero-length DMA.
+//
+// Each extent is charged exactly as the equivalent DMA call would be —
+// per-extent setup, link/core occupancy, byte counters, and fault
+// behaviour are all identical to the hand-written DMA loop it
+// replaces (the equivalence test in pcie_test.go pins this down).
+// What the vectored form buys is the memory mechanics: extent-by-
+// extent region-to-region copies with zero intermediate buffers and
+// no per-extent closure or signal state.
+func (f *Fabric) DMAVec(p *sim.Proc, initiator *Port, base mem.Addr, exts []mem.Extent, gather bool) error {
+	off := mem.Addr(0)
+	for _, e := range exts {
+		var err error
+		if gather {
+			err = f.DMA(p, initiator, base+off, e.Addr, e.Len)
+		} else {
+			err = f.DMA(p, initiator, e.Addr, base+off, e.Len)
+		}
+		if err != nil {
+			return err
+		}
+		off += mem.Addr(e.Len)
+	}
+	return nil
+}
+
+// MustDMAVec is DMAVec that panics on policy errors.
+func (f *Fabric) MustDMAVec(p *sim.Proc, initiator *Port, base mem.Addr, exts []mem.Extent, gather bool) {
+	if err := f.DMAVec(p, initiator, base, exts, gather); err != nil {
 		panic(err)
 	}
 }
@@ -296,18 +410,23 @@ func (f *Fabric) PostedWrite(addr mem.Addr, val uint64) {
 		deliverAt = f.postedClock
 	}
 	f.postedClock = deliverAt
-	f.env.Schedule(deliverAt-f.env.Now(), func() {
-		var b [8]byte
-		putLE64(b[:], val)
-		f.mem.Write(addr, b[:])
-	})
+	var pw *postedWrite
+	if k := len(f.pwFree); k > 0 {
+		pw = f.pwFree[k-1]
+		f.pwFree = f.pwFree[:k-1]
+	} else {
+		pw = &postedWrite{f: f}
+		pw.fn = pw.deliver
+	}
+	pw.addr, pw.val = addr, val
+	f.env.Schedule(deliverAt-f.env.Now(), pw.fn)
 }
 
 // ReadReg performs a non-posted register read: the caller blocks for a
 // round trip and receives the current value.
 func (f *Fabric) ReadReg(p *sim.Proc, addr mem.Addr) uint64 {
 	p.Sleep(2 * f.params.MMIOLatency)
-	return le64(f.mem.Read(addr, 8))
+	return le64(f.mem.View(addr, 8))
 }
 
 // OnMSI registers a handler for an interrupt vector. Handlers run on

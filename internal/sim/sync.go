@@ -28,10 +28,14 @@ func (s *Signal) Fire(val any) {
 	}
 	s.done = true
 	s.val = val
-	for _, p := range s.waiters {
+	// Truncate in place rather than dropping the backing array: fired
+	// signals are recycled (Reset) on zero-allocation paths, and the
+	// next Wait must not have to grow a fresh waiter slice.
+	for i, p := range s.waiters {
 		s.env.wake(p)
+		s.waiters[i] = nil
 	}
-	s.waiters = nil
+	s.waiters = s.waiters[:0]
 }
 
 // Wait blocks the process until the signal fires and returns the
@@ -42,6 +46,23 @@ func (s *Signal) Wait(p *Proc) any {
 		p.park()
 	}
 	return s.val
+}
+
+// Reset returns a fired signal to the unfired state so it can be
+// reused — the backing primitive for deterministic signal free lists
+// (sync.Pool is scheduling-dependent and therefore banned from model
+// code). Only the owner that observed the completion may Reset:
+// resetting an unfired signal, or one that still has parked waiters,
+// is a lifecycle bug and panics.
+func (s *Signal) Reset() {
+	if !s.done {
+		panic("sim: reset of unfired signal")
+	}
+	if len(s.waiters) != 0 {
+		panic("sim: reset of signal with waiters")
+	}
+	s.done = false
+	s.val = nil
 }
 
 // Cond is a broadcast condition variable: Wait parks the process until
@@ -65,22 +86,32 @@ func (c *Cond) Wait(p *Proc) {
 
 // Broadcast wakes every currently parked waiter.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	// wake only schedules the resume event — no waiter re-enters Wait
+	// until after this loop returns — so truncating in place is safe
+	// and keeps the backing array for the next round of waiters.
+	for i, w := range c.waiters {
 		c.env.wake(w)
+		c.waiters[i] = nil
 	}
+	c.waiters = c.waiters[:0]
 }
 
 // Queue is an unbounded FIFO channel between processes. Put never
 // blocks; Get blocks until an item is available. Items are delivered
 // in insertion order and waiters are served in arrival order.
+//
+// Both the item and waiter FIFOs dequeue by head index and rewind when
+// drained, so a steady-state Put/Get cycle reuses one backing array
+// forever. Reslicing (`s = s[1:]`) would instead bleed one element of
+// capacity per cycle and end up allocating on every operation.
 type Queue[T any] struct {
-	env     *Env
-	name    string
-	items   []T
-	waiters []*Proc
-	maxLen  int // high-water mark, for diagnostics
+	env      *Env
+	name     string
+	items    []T
+	itemHead int
+	waiters  []*Proc
+	waitHead int
+	maxLen   int // high-water mark, for diagnostics
 }
 
 // NewQueue returns an empty queue.
@@ -89,51 +120,91 @@ func NewQueue[T any](e *Env, name string) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.itemHead }
 
 // MaxLen returns the high-water mark of the queue length.
 func (q *Queue[T]) MaxLen() int { return q.maxLen }
 
+// takeItem pops the head item, zeroing the vacated slot (queued values
+// may hold pointers) and rewinding once the queue drains.
+func (q *Queue[T]) takeItem() T {
+	var zero T
+	v := q.items[q.itemHead]
+	q.items[q.itemHead] = zero
+	q.itemHead++
+	if q.itemHead == len(q.items) {
+		q.items = q.items[:0]
+		q.itemHead = 0
+	}
+	return v
+}
+
+// wakeWaiter wakes the longest-parked waiter, if any.
+func (q *Queue[T]) wakeWaiter() {
+	if q.waitHead == len(q.waiters) {
+		return
+	}
+	w := q.waiters[q.waitHead]
+	q.waiters[q.waitHead] = nil
+	q.waitHead++
+	if q.waitHead == len(q.waiters) {
+		q.waiters = q.waiters[:0]
+		q.waitHead = 0
+	}
+	q.env.wake(w)
+}
+
 // Put appends an item and wakes the first waiter, if any.
 func (q *Queue[T]) Put(v T) {
+	// A queue that stays non-empty slides (head advances, tail appends)
+	// and would double its backing array forever; compact the live
+	// window to the front instead of growing past capacity.
+	if q.itemHead > 0 && len(q.items) == cap(q.items) {
+		var zero T
+		n := copy(q.items, q.items[q.itemHead:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = zero
+		}
+		q.items = q.items[:n]
+		q.itemHead = 0
+	}
 	q.items = append(q.items, v)
-	if len(q.items) > q.maxLen {
-		q.maxLen = len(q.items)
+	if q.Len() > q.maxLen {
+		q.maxLen = q.Len()
 	}
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.env.wake(w)
-	}
+	q.wakeWaiter()
 }
 
 // Get removes and returns the oldest item, blocking while empty.
 func (q *Queue[T]) Get(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
+		if q.waitHead > 0 && len(q.waiters) == cap(q.waiters) {
+			n := copy(q.waiters, q.waiters[q.waitHead:])
+			for i := n; i < len(q.waiters); i++ {
+				q.waiters[i] = nil
+			}
+			q.waiters = q.waiters[:n]
+			q.waitHead = 0
+		}
 		q.waiters = append(q.waiters, p)
 		p.park()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.takeItem()
 	// If items remain and more waiters are parked, keep the chain going:
 	// the wake that freed us may have raced with multiple Puts.
-	if len(q.items) > 0 && len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		q.env.wake(w)
+	if q.Len() > 0 {
+		q.wakeWaiter()
 	}
 	return v
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.takeItem(), true
 }
 
 // Resource is a counting semaphore with FIFO hand-off: Release grants
