@@ -2,9 +2,14 @@
 // against a checked-in baseline and exits non-zero on regressions:
 //
 //   - any ns/op (or ns/event) metric more than -tolerance (default
-//     25%) slower than the baseline, and
+//     25%) slower than the baseline,
 //   - ANY allocations on a path whose baseline is zero allocs/op —
-//     zero-allocation paths are a hard invariant, not a budget.
+//     zero-allocation paths are a hard invariant, not a budget — and
+//   - any events-per-op / events-per-I/O count more than 10% above the
+//     baseline. Event counts are deterministic (they come from the
+//     simulation schedule, not the wall clock), so this gate is immune
+//     to runner noise and catches protocol-efficiency regressions that
+//     ns/op tolerances would absorb.
 //
 // It understands both report shapes emitted by cmd/dcsbench:
 // BENCH_dataplane.json (data-plane microbenchmarks) and
@@ -30,10 +35,15 @@ import (
 type metric struct {
 	ns     float64 // time per op/event; 0 = absent
 	allocs float64
+	events float64 // kernel events per op / per I/O; 0 = absent
 	hasNs  bool
 	zeroed bool // baseline promises zero allocs on this path
 	soft   bool // informational only (whole-run wall clocks): never fails
 }
+
+// eventTolerance is the hard ceiling on deterministic event-count
+// growth: more than 10% over baseline fails regardless of -tolerance.
+const eventTolerance = 0.10
 
 type kernelStats struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
@@ -43,7 +53,11 @@ type kernelStats struct {
 type kernelReport struct {
 	KernelSchedule   *kernelStats `json:"kernel_schedule"`
 	KernelParkResume *kernelStats `json:"kernel_park_resume"`
-	Figures          []struct {
+	Protocol         []struct {
+		Name        string  `json:"name"`
+		EventsPerIO float64 `json:"events_per_io"`
+	} `json:"protocol"`
+	Figures []struct {
 		Name   string  `json:"name"`
 		WallMs float64 `json:"wall_ms"`
 	} `json:"figures"`
@@ -54,6 +68,7 @@ type dataplaneReport struct {
 		Name        string  `json:"name"`
 		NsPerOp     float64 `json:"ns_per_op"`
 		AllocsPerOp float64 `json:"allocs_per_op"`
+		EventsPerOp float64 `json:"events_per_op"`
 	} `json:"benches"`
 }
 
@@ -71,7 +86,8 @@ func load(path string) (map[string]metric, error) {
 	}
 	if len(dp.Benches) > 0 {
 		for _, b := range dp.Benches {
-			out[b.Name] = metric{ns: b.NsPerOp, allocs: b.AllocsPerOp, hasNs: true, zeroed: b.AllocsPerOp == 0}
+			out[b.Name] = metric{ns: b.NsPerOp, allocs: b.AllocsPerOp, events: b.EventsPerOp,
+				hasNs: true, zeroed: b.AllocsPerOp == 0}
 		}
 		return out, nil
 	}
@@ -88,6 +104,9 @@ func load(path string) (map[string]metric, error) {
 	}
 	if s := kr.KernelParkResume; s != nil {
 		out["kernel_park_resume"] = metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true}
+	}
+	for _, pr := range kr.Protocol {
+		out["protocol:"+pr.Name] = metric{events: pr.EventsPerIO}
 	}
 	// Figure wall times ride along informationally: they are whole-run
 	// wall clocks, far too noisy on shared CI runners to gate on, so
@@ -145,8 +164,16 @@ func main() {
 			status = "ALLOCS"
 			failed = true
 		}
-		fmt.Printf("%-6s %-24s ns %12.2f -> %12.2f (%.2fx)  allocs %g -> %g\n",
+		if b.events > 0 && c.events > b.events*(1+eventTolerance) {
+			status = "EVENTS"
+			failed = true
+		}
+		line := fmt.Sprintf("%-6s %-24s ns %12.2f -> %12.2f (%.2fx)  allocs %g -> %g",
 			status, name, b.ns, c.ns, ratio, b.allocs, c.allocs)
+		if b.events > 0 || c.events > 0 {
+			line += fmt.Sprintf("  events %.2f -> %.2f", b.events, c.events)
+		}
+		fmt.Println(line)
 	}
 	var added []string
 	for name := range cur {

@@ -97,6 +97,7 @@ func main() {
 	}
 	if *benchjson != "" {
 		perf = bench.NewPerfReport(workers)
+		perf.MeasureProtocols()
 	}
 	if *dataplanejson != "" {
 		dp := bench.NewDataplaneReport()

@@ -1,10 +1,11 @@
 // Command dcslint runs the repo's determinism lint suite — a
 // multichecker over internal/lint's analyzers:
 //
-//	nowallclock  no wall-clock time or global math/rand in sim packages
-//	maporder     no map-range bodies that leak iteration order
-//	nogoroutine  no goroutines or raw channels outside the DES kernel
-//	simtime      no raw integer literals in sim.Time arithmetic
+//	nowallclock       no wall-clock time or global math/rand in sim packages
+//	maporder          no map-range bodies that leak iteration order
+//	nogoroutine       no goroutines or raw channels outside the DES kernel
+//	nochainrecursion  no continuations that re-enter sim.Env.Chain
+//	simtime           no raw integer literals in sim.Time arithmetic
 //
 // Usage:
 //

@@ -24,10 +24,11 @@ import (
 type DataplaneStat struct {
 	Name        string  `json:"name"`
 	Ops         int     `json:"ops"`
-	BytesPerOp  int     `json:"bytes_per_op"`  // payload bytes moved per op
+	BytesPerOp  int     `json:"bytes_per_op"` // payload bytes moved per op
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	HeapPerOp   float64 `json:"heap_bytes_per_op"` // allocator bytes, not payload
+	HeapPerOp   float64 `json:"heap_bytes_per_op"`       // allocator bytes, not payload
+	EventsPerOp float64 `json:"events_per_op,omitempty"` // kernel events dispatched per op
 }
 
 // DataplaneReport is the BENCH_dataplane.json payload.
@@ -57,6 +58,17 @@ func measureOps(name string, bytesPerOp, warm, ops int, fn func(n int)) Dataplan
 		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
 		HeapPerOp:   float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
 	}
+}
+
+// measureSimOps is measureOps for simulator-backed benches: it also
+// attributes the kernel's dispatched-event delta per operation, the
+// protocol-efficiency number the batching work optimizes.
+func measureSimOps(env *sim.Env, name string, bytesPerOp, warm, ops int, fn func(n int)) DataplaneStat {
+	fn(warm)
+	before := env.Steps()
+	st := measureOps(name, bytesPerOp, 0, ops, fn)
+	st.EventsPerOp = float64(env.Steps()-before) / float64(ops)
+	return st
 }
 
 // simRunner couples a work queue to a driver process so the measured
@@ -121,7 +133,7 @@ func benchDMA() DataplaneStat {
 	run := simRunner(env, func(p *sim.Proc, i int) {
 		fab.MustDMA(p, port, b.Base, a.Base, dpPage)
 	})
-	return measureOps("pcie_dma_4k", dpPage, 500, 20000, run)
+	return measureSimOps(env, "pcie_dma_4k", dpPage, 500, 20000, run)
 }
 
 // benchDMAVec measures a vectored gather DMA: 8 scattered 512 B
@@ -143,7 +155,7 @@ func benchDMAVec() DataplaneStat {
 	run := simRunner(env, func(p *sim.Proc, i int) {
 		fab.MustDMAVec(p, port, b.Base, exts, true)
 	})
-	return measureOps("hdc_gather_8x512", dpPage, 500, 20000, run)
+	return measureSimOps(env, "hdc_gather_8x512", dpPage, 500, 20000, run)
 }
 
 // nvmeBench wires one SSD to a driver-style ring, mirroring the model
@@ -200,7 +212,7 @@ func benchNVMeRead() DataplaneStat {
 			b.kick.Wait(p)
 		}
 	})
-	return measureOps("nvme_read_4k", nvme.BlockSize, 500, 10000, run)
+	return measureSimOps(env, "nvme_read_4k", nvme.BlockSize, 500, 10000, run)
 }
 
 // nicNode is one endpoint of the frame-echo pair: its own address
@@ -337,7 +349,7 @@ func benchNICEcho() DataplaneStat {
 			kick.Wait(p)
 		}
 	})
-	return measureOps("nic_frame_echo", 2*(ether.HeadersLen+payLen), 500, 10000, run)
+	return measureSimOps(env, "nic_frame_echo", 2*(ether.HeadersLen+payLen), 500, 10000, run)
 }
 
 // NewDataplaneReport runs all data-plane microbenchmarks.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"dcsctrl/internal/core"
 	"dcsctrl/internal/sim"
 )
 
@@ -76,6 +77,53 @@ func MeasureKernelParkResume(n int) KernelStats {
 	return measureKernel(env, func() { env.Run(-1) })
 }
 
+// ProtocolStats is the event economy of one deterministic protocol
+// cell: total dispatched kernel events, fused (inlined) continuations,
+// host-visible I/O completions, and the headline events-per-I/O ratio
+// the batched protocol pipelines optimize.
+type ProtocolStats struct {
+	Name        string  `json:"name"`
+	Events      uint64  `json:"events"`
+	Fused       uint64  `json:"fused"`
+	IOs         uint64  `json:"ios"`
+	EventsPerIO float64 `json:"events_per_io"`
+}
+
+// MeasureProtocol runs a fixed GET-style stream (ops transfers of size
+// bytes over one connection) under cfg and returns the kernel's event
+// accounting. The cell is deterministic, so the counts are exact and
+// diffable across commits.
+func MeasureProtocol(name string, cfg core.Config, ops, size int) ProtocolStats {
+	env := sim.NewEnv()
+	cl := core.NewCluster(env, cfg, core.DefaultParams())
+	content := make([]byte, size)
+	for i := range content {
+		content[i] = byte(i * 7)
+	}
+	f, err := cl.Server.StageFile("obj", content)
+	if err != nil {
+		panic(err)
+	}
+	conn := cl.OpenConn(true)
+	env.Spawn("server", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			if _, err := cl.Server.SendFileOp(p, f, 0, size, conn.ID, core.ProcNone); err != nil {
+				panic(err)
+			}
+		}
+	})
+	env.Spawn("client", func(p *sim.Proc) { cl.ClientRecv(p, conn, ops*size) })
+	env.Run(-1)
+	st := env.Stats()
+	return ProtocolStats{
+		Name:        name,
+		Events:      st.Events,
+		Fused:       st.Fused,
+		IOs:         st.IOs,
+		EventsPerIO: st.EventsPerIO(),
+	}
+}
+
 // FigureTiming is the wall-clock cost of one regenerated experiment.
 type FigureTiming struct {
 	Name   string  `json:"name"`
@@ -100,6 +148,7 @@ type PerfReport struct {
 
 	KernelSchedule   KernelStats      `json:"kernel_schedule"`
 	KernelParkResume KernelStats      `json:"kernel_park_resume"`
+	Protocol         []ProtocolStats  `json:"protocol,omitempty"`
 	Figures          []FigureTiming   `json:"figures,omitempty"`
 	Sweep            *SweepComparison `json:"sweep,omitempty"`
 }
@@ -115,6 +164,15 @@ func NewPerfReport(workers int) *PerfReport {
 		GoVersion:        runtime.Version(),
 		KernelSchedule:   MeasureKernelSchedule(events),
 		KernelParkResume: MeasureKernelParkResume(events),
+	}
+}
+
+// MeasureProtocols records the event economy of the hot protocol
+// configurations: one 16-op 64 KB GET stream per config.
+func (r *PerfReport) MeasureProtocols() {
+	const ops, size = 16, 64 << 10
+	for _, cfg := range []core.Config{core.SWP2P, core.DCSCtrl} {
+		r.Protocol = append(r.Protocol, MeasureProtocol(cfg.String(), cfg, ops, size))
 	}
 }
 
@@ -138,16 +196,24 @@ func (r *PerfReport) CompareSweep(workers int) {
 	start := time.Now()
 	RunSizeSweepParallel(0, 1) // ProcNone
 	serial := time.Since(start)
-	start = time.Now()
-	RunSizeSweepParallel(0, workers)
-	par := time.Since(start)
 	cmp := &SweepComparison{
-		Workers:    workers,
-		SerialMs:   float64(serial.Nanoseconds()) / 1e6,
-		ParallelMs: float64(par.Nanoseconds()) / 1e6,
+		Workers:  EffectiveWorkers(workers, workers),
+		SerialMs: float64(serial.Nanoseconds()) / 1e6,
 	}
-	if par > 0 {
-		cmp.Speedup = float64(serial) / float64(par)
+	if cmp.Workers <= 1 {
+		// The GOMAXPROCS clamp degenerates the "parallel" sweep to the
+		// identical serial loop; measuring the same code twice would
+		// report run-to-run GC jitter as a speedup or slowdown.
+		cmp.ParallelMs = cmp.SerialMs
+		cmp.Speedup = 1
+	} else {
+		start = time.Now()
+		RunSizeSweepParallel(0, workers)
+		par := time.Since(start)
+		cmp.ParallelMs = float64(par.Nanoseconds()) / 1e6
+		if par > 0 {
+			cmp.Speedup = float64(serial) / float64(par)
+		}
 	}
 	r.Sweep = cmp
 }

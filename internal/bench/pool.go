@@ -29,15 +29,34 @@ func Workers(n int) int {
 	return n
 }
 
-// ParallelFor runs fn(i) for every i in [0, n) across up to workers
-// goroutines and returns when all calls have completed. fn must write
-// its result into an index-keyed slot (slice element i) rather than
-// append, so the caller observes deterministic ordering. workers <= 1
-// degenerates to a plain serial loop on the calling goroutine.
-func ParallelFor(n, workers int, fn func(i int)) {
+// EffectiveWorkers reports the worker count ParallelFor will actually
+// use for n items, so callers can report honest concurrency numbers.
+// The count is clamped to GOMAXPROCS: extra goroutines beyond the
+// schedulable CPUs cannot run concurrently, but they do thrash the
+// scheduler and the allocator caches — on a single-CPU box an
+// oversubscribed "parallel" sweep ran ~1.6× slower than the serial
+// loop. Clamping makes that case degenerate to serial.
+func EffectiveWorkers(n, workers int) int {
 	if workers > n {
 		workers = n
 	}
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) across up to
+// EffectiveWorkers(n, workers) goroutines and returns when all calls
+// have completed. fn must write its result into an index-keyed slot
+// (slice element i) rather than append, so the caller observes
+// deterministic ordering. An effective worker count of 1 degenerates
+// to a plain serial loop on the calling goroutine.
+func ParallelFor(n, workers int, fn func(i int)) {
+	workers = EffectiveWorkers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

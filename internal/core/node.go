@@ -61,6 +61,7 @@ type Node struct {
 	nextRSS   int // round-robin connection-to-queue assignment
 
 	conns    map[uint64]*hostConn
+	connsRx  map[ether.Tuple]*hostConn // receive-tuple index for the rx hot path
 	rxWake   *sim.Cond
 	arena    *mem.Region // host DRAM staging buffers
 	arenaOff uint64
@@ -85,7 +86,47 @@ type hostConn struct {
 	flow   ether.Flow // transmit direction
 	txSeq  uint32
 	rxSeq  uint32
-	stream []byte // reassembled in-order payload, consumed by readers
+	stream []byte // reassembled in-order payload; stream[rd:] is unconsumed
+	rd     int    // consumed prefix (head index, capacity-preserving)
+}
+
+// pushStream appends payload bytes, compacting the consumed prefix and
+// growing by doubling: Go's native large-slice growth (~1.25x) plus the
+// capacity bleed of reslicing on consume made reassembly a top copy
+// cost at 40 GbE.
+func (c *hostConn) pushStream(b []byte) {
+	if len(c.stream)+len(b) > cap(c.stream) && c.rd > 0 {
+		m := copy(c.stream, c.stream[c.rd:])
+		c.stream = c.stream[:m]
+		c.rd = 0
+	}
+	if need := len(c.stream) + len(b); need > cap(c.stream) {
+		newCap := 2 * cap(c.stream)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 4096 {
+			newCap = 4096
+		}
+		ns := make([]byte, len(c.stream), newCap)
+		copy(ns, c.stream)
+		c.stream = ns
+	}
+	c.stream = append(c.stream, b...)
+}
+
+// streamLen returns the unconsumed byte count.
+func (c *hostConn) streamLen() int { return len(c.stream) - c.rd }
+
+// takeStream consumes want bytes into a fresh slice, preserving the
+// buffer's capacity for the next reassembly round.
+func (c *hostConn) takeStream(want int) []byte {
+	out := append([]byte(nil), c.stream[c.rd:c.rd+want]...)
+	c.rd += want
+	if c.rd == len(c.stream) {
+		c.stream, c.rd = c.stream[:0], 0
+	}
+	return out
 }
 
 // TimelineEvent is a Figure 2-style trace point.
@@ -111,9 +152,10 @@ func NewNode(env *sim.Env, name string, kind Config, params Params) *Node {
 	}
 	n := &Node{
 		Name: name, Kind: kind, Params: params,
-		Env:   env,
-		MM:    mem.NewMap(),
-		conns: map[uint64]*hostConn{},
+		Env:     env,
+		MM:      mem.NewMap(),
+		conns:   map[uint64]*hostConn{},
+		connsRx: map[ether.Tuple]*hostConn{},
 	}
 	n.Fab = pcie.NewFabric(env, n.MM, params.PCIe)
 	n.HostPort = n.Fab.AddPort(name + "-root")

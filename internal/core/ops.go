@@ -267,10 +267,12 @@ func (n *Node) failoverToHost(p *sim.Proc, bd *trace.Breakdown) {
 		if _, dup := n.conns[ac.ID]; dup {
 			panic(fmt.Sprintf("core: adopted connection %d collides on %s", ac.ID, n.Name))
 		}
-		n.conns[ac.ID] = &hostConn{
+		c := &hostConn{
 			id: ac.ID, flow: ac.Flow, txSeq: ac.TxSeq, rxSeq: ac.RxSeq,
 			stream: ac.Buffered,
 		}
+		n.conns[ac.ID] = c
+		n.connsRx[ac.Flow.Reverse().Tuple()] = c
 		n.Host.Exec(p, trace.CatFallback, n.Params.Host.SockSendSetup, bd)
 	}
 }

@@ -49,6 +49,7 @@ type NVMeCtrl struct {
 	// Per-loop scratch and recycled completion callbacks, so the
 	// steady-state submit path allocates nothing (DESIGN.md §11).
 	pages  []mem.Addr
+	batch  []nvmeReq
 	cbFree []*nvmeCb
 
 	cmds    int64
@@ -131,41 +132,66 @@ func (c *NVMeCtrl) Submit(r nvmeReq) { c.reqQ.Put(r) }
 
 func (c *NVMeCtrl) loop(p *sim.Proc) {
 	for {
-		r := c.reqQ.Get(p)
-		if r.blocks < 1 || r.blocks > nvme.MaxBlocksPerCmd {
-			panic(fmt.Sprintf("hdc: nvme request of %d blocks", r.blocks))
+		// Drain every request queued by this instant into one batch:
+		// the build cost is charged in a single sleep and the doorbell
+		// rings once per batch instead of once per command.
+		batch := append(c.batch[:0], c.reqQ.Get(p))
+		for {
+			r, ok := c.reqQ.TryGet()
+			if !ok {
+				break
+			}
+			batch = append(batch, r)
 		}
-		for c.ring.Full() {
-			c.room.Wait(p)
+		c.batch = batch
+		for _, r := range batch {
+			if r.blocks < 1 || r.blocks > nvme.MaxBlocksPerCmd {
+				panic(fmt.Sprintf("hdc: nvme request of %d blocks", r.blocks))
+			}
 		}
 		// Hardware command build: PRPs point straight at DDR3 pages.
-		p.Sleep(c.eng.params.NVMeBuild)
-		pages := c.pages[:0]
-		for i := 0; i < r.blocks; i++ {
-			pages = append(pages, r.buf+mem.Addr(i*nvme.BlockSize))
+		p.Sleep(sim.Time(len(batch)) * c.eng.params.NVMeBuild)
+		unrung := 0 // submissions since the last doorbell
+		for _, r := range batch {
+			for c.ring.Full() {
+				// Flush submissions the SSD hasn't been told about
+				// before parking, or it would never free a slot.
+				if unrung > 0 {
+					c.ring.RingDoorbell()
+					unrung = 0
+				}
+				c.room.Wait(p)
+			}
+			pages := c.pages[:0]
+			for i := 0; i < r.blocks; i++ {
+				pages = append(pages, r.buf+mem.Addr(i*nvme.BlockSize))
+			}
+			c.pages = pages
+			prpPage := c.prpPages[c.prpNext]
+			c.prpNext = (c.prpNext + 1) % len(c.prpPages)
+			prp1, prp2, err := nvme.BuildPRPs(c.eng.fab.Mem(), pages, prpPage)
+			if err != nil {
+				panic(err)
+			}
+			op := nvme.OpRead
+			if r.write {
+				op = nvme.OpWrite
+			}
+			cb := c.getCb()
+			cb.req = r
+			_, err = c.ring.Submit(nvme.Command{
+				Opcode: op, NSID: 1, PRP1: prp1, PRP2: prp2,
+				SLBA: r.lba, NLB: uint16(r.blocks - 1),
+			}, cb.fn)
+			if err != nil {
+				panic(err)
+			}
+			unrung++
+			c.cmds++
 		}
-		c.pages = pages
-		prpPage := c.prpPages[c.prpNext]
-		c.prpNext = (c.prpNext + 1) % len(c.prpPages)
-		prp1, prp2, err := nvme.BuildPRPs(c.eng.fab.Mem(), pages, prpPage)
-		if err != nil {
-			panic(err)
+		if unrung > 0 {
+			c.ring.RingDoorbell()
 		}
-		op := nvme.OpRead
-		if r.write {
-			op = nvme.OpWrite
-		}
-		cb := c.getCb()
-		cb.req = r
-		_, err = c.ring.Submit(nvme.Command{
-			Opcode: op, NSID: 1, PRP1: prp1, PRP2: prp2,
-			SLBA: r.lba, NLB: uint16(r.blocks - 1),
-		}, cb.fn)
-		if err != nil {
-			panic(err)
-		}
-		c.ring.RingDoorbell()
-		c.cmds++
 	}
 }
 
@@ -230,6 +256,7 @@ type NICCtrl struct {
 	rbds       []nic.RecvBD
 	fills      []nic.Filled
 	hdrScratch []byte
+	sendBatch  []sendReq
 
 	conns map[uint64]*conn
 
@@ -349,42 +376,65 @@ func (c *NICCtrl) sendLoop(p *sim.Proc) {
 	hdrSlots := int(c.hdrBuf.Size / 64)
 	hdrNext := 0
 	for {
-		r := c.sendQ.Get(p)
-		cn, ok := c.conns[r.connID]
-		if !ok {
-			panic(fmt.Sprintf("hdc: send on unknown connection %d", r.connID))
-		}
-		// Generate the TCP/IP header template in hardware.
-		p.Sleep(c.eng.params.NICHeaderGen)
-		hdr := ether.HeaderTemplateTo(c.hdrScratch, cn.flow, cn.txSeq, ether.FlagACK|ether.FlagPSH)
-		c.hdrScratch = hdr
-		slotAddr := c.hdrBuf.Base + mem.Addr(hdrNext*64)
-		hdrNext = (hdrNext + 1) % hdrSlots
-		c.eng.fab.Mem().Write(slotAddr, hdr)
-		cn.txSeq += uint32(r.length)
-
-		// Build the BD chain: header from BRAM, payload from DDR3 in
-		// ≤32 KB fragments (16-bit BD lengths).
-		bds := append(c.bds[:0], nic.SendBD{Addr: slotAddr, Len: uint16(len(hdr)), Flags: nic.SendFlagLSO, MSS: ether.MSS})
-		const frag = 32 << 10
-		for off := 0; off < r.length; off += frag {
-			n := r.length - off
-			if n > frag {
-				n = frag
+		// Drain every send queued by this instant into one batch: the
+		// header-generation cost is charged in a single sleep and the
+		// doorbell rings once per batch instead of once per job.
+		batch := append(c.sendBatch[:0], c.sendQ.Get(p))
+		for {
+			r, ok := c.sendQ.TryGet()
+			if !ok {
+				break
 			}
-			bds = append(bds, nic.SendBD{Addr: r.buf + mem.Addr(off), Len: uint16(n)})
+			batch = append(batch, r)
 		}
-		bds[len(bds)-1].Flags |= nic.SendFlagEnd
-		for c.send.FreeSlots() < len(bds) {
-			c.sendSpace.Wait(p)
+		c.sendBatch = batch
+		// Generate the TCP/IP header templates in hardware.
+		p.Sleep(sim.Time(len(batch)) * c.eng.params.NICHeaderGen)
+		unrung := 0 // chains pushed since the last doorbell
+		for _, r := range batch {
+			cn, ok := c.conns[r.connID]
+			if !ok {
+				panic(fmt.Sprintf("hdc: send on unknown connection %d", r.connID))
+			}
+			hdr := ether.HeaderTemplateTo(c.hdrScratch, cn.flow, cn.txSeq, ether.FlagACK|ether.FlagPSH)
+			c.hdrScratch = hdr
+			slotAddr := c.hdrBuf.Base + mem.Addr(hdrNext*64)
+			hdrNext = (hdrNext + 1) % hdrSlots
+			c.eng.fab.Mem().Write(slotAddr, hdr)
+			cn.txSeq += uint32(r.length)
+
+			// Build the BD chain: header from BRAM, payload from DDR3 in
+			// ≤32 KB fragments (16-bit BD lengths).
+			bds := append(c.bds[:0], nic.SendBD{Addr: slotAddr, Len: uint16(len(hdr)), Flags: nic.SendFlagLSO, MSS: ether.MSS})
+			const frag = 32 << 10
+			for off := 0; off < r.length; off += frag {
+				n := r.length - off
+				if n > frag {
+					n = frag
+				}
+				bds = append(bds, nic.SendBD{Addr: r.buf + mem.Addr(off), Len: uint16(n)})
+			}
+			bds[len(bds)-1].Flags |= nic.SendFlagEnd
+			for c.send.FreeSlots() < len(bds) {
+				// Flush chains the NIC hasn't been told about before
+				// parking, or it would never free a slot.
+				if unrung > 0 {
+					c.send.RingDoorbell()
+					unrung = 0
+				}
+				c.sendSpace.Wait(p)
+			}
+			if err := c.send.Push(bds); err != nil {
+				panic(err)
+			}
+			c.bds = bds
+			c.pendTx = append(c.pendTx, pendingSend{tail: c.send.Tail(), done: r.done})
+			unrung++
+			c.sendJobs++
 		}
-		if err := c.send.Push(bds); err != nil {
-			panic(err)
+		if unrung > 0 {
+			c.send.RingDoorbell()
 		}
-		c.bds = bds
-		c.pendTx = append(c.pendTx, pendingSend{tail: c.send.Tail(), done: r.done})
-		c.send.RingDoorbell()
-		c.sendJobs++
 	}
 }
 

@@ -113,10 +113,12 @@ type Engine struct {
 	budget *fpga.Budget
 
 	// Host interface: 64-entry command queue + tail doorbell in BRAM.
-	cmdq    *mem.Region
-	cmdHead uint64
-	cmdTail uint64 // doorbell value
-	cmdKick *sim.Cond
+	cmdq       *mem.Region
+	cmdHead    uint64
+	cmdTail    uint64 // doorbell value
+	cmdKick    *sim.Cond
+	kickQueued bool   // a parser kick is already chained at this instant
+	kickFn     func() // bound once; clears kickQueued and broadcasts cmdKick
 
 	// On-board DDR3: intermediate chunks and packet receive buffers.
 	ddr3      *mem.Region
@@ -140,9 +142,10 @@ type Engine struct {
 	finished  map[uint32]cmdResult // results awaiting their turn
 	cplCount  uint64
 	cplCond   *sim.Cond
-	cplBuf    mem.Addr   // completer staging
-	mirrorBuf mem.Addr   // head-mirror staging
-	extBufs   []mem.Addr // per-command-slot extent staging
+	cplBuf    mem.Addr     // completer staging (one full ring's worth)
+	cplExts   []mem.Extent // completer scratch (≤2 wrap-aware extents)
+	mirrorBuf mem.Addr     // head-mirror staging
+	extBufs   []mem.Addr   // per-command-slot extent staging
 
 	cmdsDone int64
 	dead     bool // parser suffered a hard failure; no command makes progress
@@ -194,13 +197,18 @@ func NewEngine(env *sim.Env, fab *pcie.Fabric, name string, params Params) *Engi
 	e.recvPool = mem.NewChunkPool(e.ddr3, 2048, params.RecvBufs)
 	e.chunkCond = sim.NewCond(env)
 	e.prpList = e.ddr3.Alloc(4096, 4096)
-	e.cplBuf = e.ddr3.Alloc(64, 64)
+	e.cplBuf = e.ddr3.Alloc(uint64(params.CmdQueueEntries*CplEntrySize), 64)
+	e.cplExts = make([]mem.Extent, 0, 2)
 	e.mirrorBuf = e.ddr3.Alloc(8, 8)
 	for i := 0; i < params.CmdQueueEntries; i++ {
 		e.extBufs = append(e.extBufs, e.ddr3.Alloc(4096, 64))
 	}
 
 	e.traces = map[uint32]*CmdTrace{}
+	e.kickFn = func() {
+		e.kickQueued = false
+		e.cmdKick.Broadcast()
+	}
 	e.sb = NewScoreboard(env, params.ScoreboardEntries, params.ScoreboardOp)
 	env.Spawn(name+"-parser", e.parserLoop)
 	env.Spawn(name+"-completer", e.completerLoop)
@@ -321,7 +329,12 @@ func (e *Engine) TailDoorbell() mem.Addr {
 func (e *Engine) onCmdqWrite(off uint64, n int) {
 	if off == uint64(e.params.CmdQueueEntries*CommandSize) {
 		e.cmdTail = binary.LittleEndian.Uint64(e.cmdq.Bytes(off, 8))
-		e.cmdKick.Broadcast()
+		// Chain the parser kick so several doorbell writes landing at one
+		// instant wake the parser once, after the last write is visible.
+		if !e.kickQueued {
+			e.kickQueued = true
+			e.env.Chain(e.kickFn)
+		}
 	}
 }
 
@@ -341,33 +354,54 @@ func (e *Engine) parserLoop(p *sim.Proc) {
 		for e.cmdHead == e.cmdTail {
 			e.cmdKick.Wait(p)
 		}
-		if e.params.Faults.Hit(fault.HDCEngineFail) {
+		// Drain every command posted by this instant in one pass. Fault
+		// draws stay per-command (injection statistics are unchanged),
+		// but stall and parse costs are charged in one sleep each and
+		// the head mirror is published once per batch.
+		avail := int(e.cmdTail - e.cmdHead)
+		n, stalls := avail, 0
+		failed := false
+		for i := 0; i < avail; i++ {
+			if e.params.Faults.Hit(fault.HDCEngineFail) {
+				n, failed = i, true
+				break
+			}
+			if e.params.Faults.Hit(fault.HDCEngineStall) {
+				stalls++
+			}
+		}
+		if stalls > 0 {
+			p.Sleep(sim.Time(stalls) * engineStallDelay)
+		}
+		if n > 0 {
+			p.Sleep(sim.Time(n) * e.params.CmdParse)
+		}
+		for i := 0; i < n; i++ {
+			slot := e.cmdHead % uint64(e.params.CmdQueueEntries)
+			var raw [CommandSize]byte
+			e.cmdq.ReadAt(slot*CommandSize, raw[:])
+			e.cmdHead++
+			cmd, err := DecodeCommand(raw[:])
+			if err == nil {
+				err = cmd.Validate()
+			}
+			e.submitted = append(e.submitted, cmd.ID)
+			if err != nil {
+				e.finish(cmd.ID, CplStatusInvalid, nil)
+				continue
+			}
+			c := cmd
+			e.env.Spawn(fmt.Sprintf("%s-cmd%d", e.name, cmd.ID), func(ep *sim.Proc) {
+				e.execute(ep, c)
+			})
+		}
+		if n > 0 {
+			e.mirrorHead(p)
+		}
+		if failed {
 			e.dead = true
 			return
 		}
-		if e.params.Faults.Hit(fault.HDCEngineStall) {
-			p.Sleep(engineStallDelay)
-		}
-		slot := e.cmdHead % uint64(e.params.CmdQueueEntries)
-		var raw [CommandSize]byte
-		e.cmdq.ReadAt(slot*CommandSize, raw[:])
-		e.cmdHead++
-		p.Sleep(e.params.CmdParse)
-		cmd, err := DecodeCommand(raw[:])
-		if err == nil {
-			err = cmd.Validate()
-		}
-		e.submitted = append(e.submitted, cmd.ID)
-		if err != nil {
-			e.finish(cmd.ID, CplStatusInvalid, nil)
-			e.mirrorHead(p)
-			continue
-		}
-		c := cmd
-		e.env.Spawn(fmt.Sprintf("%s-cmd%d", e.name, cmd.ID), func(ep *sim.Proc) {
-			e.execute(ep, c)
-		})
-		e.mirrorHead(p)
 	}
 }
 
@@ -391,33 +425,62 @@ func (e *Engine) finish(id uint32, status uint32, aux []byte) {
 }
 
 // completerLoop drains in-order-finished commands to the host
-// completion ring and raises MSI.
+// completion ring and raises MSI. Every command whose turn has come at
+// one instant is posted as a batch: one sleep covering the batch's
+// post costs, one wrap-aware vectored DMA to the ring, one MSI.
 func (e *Engine) completerLoop(p *sim.Proc) {
 	for {
 		for len(e.submitted) == 0 || !e.headFinished() {
 			e.cplCond.Wait(p)
 		}
-		id := e.submitted[0]
-		e.submitted = e.submitted[1:]
-		res := e.finished[id]
-		delete(e.finished, id)
-
-		p.Sleep(e.params.CompletionPost)
+		p.Yield() // gather every command finishing at this instant
+		k := 0
+		for k < len(e.submitted) && k < e.params.CmdQueueEntries {
+			if _, ok := e.finished[e.submitted[k]]; !ok {
+				break
+			}
+			k++
+		}
+		p.Sleep(sim.Time(k) * e.params.CompletionPost)
 		if e.hostSet {
-			var entry [CplEntrySize]byte
-			binary.LittleEndian.PutUint32(entry[0:], res.id)
-			binary.LittleEndian.PutUint32(entry[4:], res.status)
-			binary.LittleEndian.PutUint32(entry[8:], uint32(len(res.aux)))
-			entry[12] = 1 // valid
-			copy(entry[16:], res.aux)
-			slot := e.cplCount % uint64(e.params.CmdQueueEntries)
-			e.fab.Mem().Write(e.cplBuf, entry[:])
-			e.fab.MustDMA(p, e.port, e.host.CplRing.Base+mem.Addr(slot*CplEntrySize), e.cplBuf, CplEntrySize)
-			e.cplCount++
+			for i := 0; i < k; i++ {
+				res := e.finished[e.submitted[i]]
+				entry := [CplEntrySize]byte{}
+				binary.LittleEndian.PutUint32(entry[0:], res.id)
+				binary.LittleEndian.PutUint32(entry[4:], res.status)
+				binary.LittleEndian.PutUint32(entry[8:], uint32(len(res.aux)))
+				entry[12] = 1 // valid
+				copy(entry[16:], res.aux)
+				e.fab.Mem().Write(e.cplBuf+mem.Addr(i*CplEntrySize), entry[:])
+			}
+			slot := int(e.cplCount % uint64(e.params.CmdQueueEntries))
+			e.cplExts = ringExtents(e.cplExts[:0], e.host.CplRing.Base, slot, k,
+				e.params.CmdQueueEntries, CplEntrySize)
+			e.fab.MustDMAVec(p, e.port, e.cplBuf, e.cplExts, false)
+			e.cplCount += uint64(k)
+			e.env.CountIO(k)
 			e.fab.RaiseMSI(e.host.MSIVector)
 		}
-		e.cmdsDone++
+		for i := 0; i < k; i++ {
+			delete(e.finished, e.submitted[i])
+		}
+		e.submitted = e.submitted[k:]
+		e.cmdsDone += int64(k)
 	}
+}
+
+// ringExtents maps n consecutive ring slots starting at head to at most
+// two extents (one wrap), appending to exts.
+func ringExtents(exts []mem.Extent, base mem.Addr, head, n, entries, esz int) []mem.Extent {
+	first := entries - head
+	if first > n {
+		first = n
+	}
+	exts = append(exts, mem.Extent{Addr: base + mem.Addr(uint64(head)*uint64(esz)), Len: first * esz})
+	if n > first {
+		exts = append(exts, mem.Extent{Addr: base, Len: (n - first) * esz})
+	}
+	return exts
 }
 
 func (e *Engine) headFinished() bool {

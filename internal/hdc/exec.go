@@ -180,15 +180,13 @@ func (e *Engine) sourceStage(p *sim.Proc, cmd Command, ext []ExtentEntry,
 			if n > ChunkSize {
 				n = ChunkSize
 			}
-			entry := e.sb.Alloc(p, cmd.ID, seq, "nic", 'R')
+			entry := e.sb.AllocIssue(p, cmd.ID, seq, "nic", 'R')
 			entry.Src = cmd.SrcArg
 			entry.Dst = uint64(buf)
-			entry.MarkReady(p)
-			entry.WaitDeps(p)
 			sig := sim.NewSignal(e.env)
 			e.ctrlFor(cmd.SrcArg).SubmitRecv(recvReq{connID: cmd.SrcArg, want: n, buf: buf, done: sig})
 			sig.Wait(p)
-			entry.Done(p)
+			e.sb.DeferDone(entry)
 			if seq == 0 && e.tracing {
 				if rec, ok := e.traces[cmd.ID]; ok {
 					rec.SrcDone = p.Now()
@@ -218,11 +216,9 @@ func (e *Engine) sourceStage(p *sim.Proc, cmd Command, ext []ExtentEntry,
 		if err != nil {
 			panic(err) // validated by the driver; a mismatch is a model bug
 		}
-		entry := e.sb.Alloc(p, cmd.ID, seq, "nvme", 'R')
+		entry := e.sb.AllocIssue(p, cmd.ID, seq, "nvme", 'R')
 		entry.Src = runs[0].lba
 		entry.Dst = uint64(buf)
-		entry.MarkReady(p)
-		entry.WaitDeps(p)
 		seq, n, buf := seq, n, buf
 		ctl := e.nvmeCtls[cmd.SrcDev]
 		e.env.Spawn(fmt.Sprintf("%s-cmd%d-rd%d", e.name, cmd.ID, seq), func(rp *sim.Proc) {
@@ -234,7 +230,7 @@ func (e *Engine) sourceStage(p *sim.Proc, cmd Command, ext []ExtentEntry,
 			for _, s := range sigs {
 				s.Wait(rp)
 			}
-			entry.Done(rp)
+			e.sb.DeferDone(entry)
 			if seq == 0 && e.tracing {
 				if rec, ok := e.traces[cmd.ID]; ok {
 					rec.SrcDone = rp.Now()
@@ -298,11 +294,9 @@ func (e *Engine) ndpStage(p *sim.Proc, cmd Command, window *sim.Resource,
 	seq := 0
 	for {
 		msg := in.Get(p)
-		entry := e.sb.Alloc(p, cmd.ID, seq, "ndp", 'P')
+		entry := e.sb.AllocIssue(p, cmd.ID, seq, "ndp", 'P')
 		entry.Src = uint64(msg.buf)
 		entry.Aux = uint64(cmd.Fn)
-		entry.MarkReady(p)
-		entry.WaitDeps(p)
 		// View: msg.buf is not freed (and the window credit not
 		// released) until after StreamChunk returns, so the bytes are
 		// stable across its simulated delays. In-place units mutating
@@ -312,7 +306,7 @@ func (e *Engine) ndpStage(p *sim.Proc, cmd Command, window *sim.Resource,
 		if err != nil {
 			panic(err)
 		}
-		entry.Done(p)
+		e.sb.DeferDone(entry)
 		seq++
 
 		if sizeChanging {
@@ -360,11 +354,9 @@ func (e *Engine) destStage(p *sim.Proc, cmd Command, ext []ExtentEntry,
 	for {
 		msg := in.Get(p)
 		if msg.n > 0 {
-			entry := e.sb.Alloc(p, cmd.ID, msg.seq, devName(cmd.DstClass), 'W')
+			entry := e.sb.AllocIssue(p, cmd.ID, msg.seq, devName(cmd.DstClass), 'W')
 			entry.Src = uint64(msg.buf)
 			entry.Dst = cmd.DstArg
-			entry.MarkReady(p)
-			entry.WaitDeps(p)
 			sig := sim.NewSignal(e.env)
 			if cmd.DstClass == ClassNIC {
 				e.ctrlFor(cmd.DstArg).SubmitSend(sendReq{connID: cmd.DstArg, buf: msg.buf, length: msg.n, done: sig})
@@ -391,7 +383,7 @@ func (e *Engine) destStage(p *sim.Proc, cmd Command, ext []ExtentEntry,
 			msgCopy := msg
 			e.env.Spawn("dst-finish", func(fp *sim.Proc) {
 				sig.Wait(fp)
-				entry.Done(fp)
+				e.sb.DeferDone(entry)
 				e.freeChunk(msgCopy.buf)
 				if !sizeChanging {
 					window.Release()

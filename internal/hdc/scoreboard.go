@@ -72,6 +72,12 @@ type Scoreboard struct {
 	issued   int64
 	done     int64
 	maxLive  int
+
+	// Batched retirement: DeferDone parks finished entries here and the
+	// retire stage completes every same-instant batch in one pass (one
+	// sleep covering the batch's op costs, one broadcast).
+	pendDone []*Entry
+	doneKick *sim.Cond
 }
 
 // NewScoreboard returns a scoreboard with the given entry capacity and
@@ -80,7 +86,10 @@ func NewScoreboard(env *sim.Env, capacity int, opCost sim.Time) *Scoreboard {
 	if capacity < 1 {
 		panic("hdc: scoreboard capacity")
 	}
-	return &Scoreboard{env: env, cap: capacity, opCost: opCost, freeCond: sim.NewCond(env)}
+	s := &Scoreboard{env: env, cap: capacity, opCost: opCost,
+		freeCond: sim.NewCond(env), doneKick: sim.NewCond(env)}
+	env.Spawn("sb-retire", s.retireLoop)
+	return s
 }
 
 // OpCost returns the per-transition cost (charged by the caller's
@@ -158,4 +167,54 @@ func (e *Entry) Done(p *sim.Proc) {
 	e.sb.live--
 	e.sb.done++
 	e.sb.freeCond.Broadcast()
+}
+
+// AllocIssue allocates an entry and drives it wait→ready→issue in one
+// batched transition for the dependency-free common case: all three op
+// costs are charged in a single sleep instead of three separate parked
+// events. Blocks while the scoreboard is full, like Alloc.
+func (s *Scoreboard) AllocIssue(p *sim.Proc, cmdID uint32, seq int, dev string, rw byte) *Entry {
+	for s.live >= s.cap {
+		s.freeCond.Wait(p)
+	}
+	p.Sleep(3 * s.opCost)
+	s.live++
+	if s.live > s.maxLive {
+		s.maxLive = s.live
+	}
+	s.issued++
+	return &Entry{CmdID: cmdID, Seq: seq, Dev: dev, RW: rw, State: StateIssue, sb: s}
+}
+
+// DeferDone hands a finished entry to the scoreboard's retire stage
+// without blocking the caller; retirement cost is charged there, in
+// same-instant batches.
+func (s *Scoreboard) DeferDone(e *Entry) {
+	if e.State != StateIssue {
+		panic(fmt.Sprintf("hdc: DeferDone from %v", e.State))
+	}
+	s.pendDone = append(s.pendDone, e)
+	s.doneKick.Broadcast()
+}
+
+// retireLoop batch-completes scoreboard entries: every entry finishing
+// at one instant retires under a single sleep covering the batch's op
+// costs, followed by one broadcast to capacity/dependency waiters.
+func (s *Scoreboard) retireLoop(p *sim.Proc) {
+	for {
+		for len(s.pendDone) == 0 {
+			s.doneKick.Wait(p)
+		}
+		p.Yield() // gather every entry retiring at this instant
+		k := len(s.pendDone)
+		p.Sleep(sim.Time(k) * s.opCost)
+		for _, e := range s.pendDone[:k] {
+			e.State = StateDone
+			s.live--
+			s.done++
+		}
+		n := copy(s.pendDone, s.pendDone[k:])
+		s.pendDone = s.pendDone[:n]
+		s.freeCond.Broadcast()
+	}
 }

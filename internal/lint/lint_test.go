@@ -21,6 +21,10 @@ func TestNoGoroutine(t *testing.T) {
 	analysistest.Run(t, lint.NoGoroutine, filepath.Join("testdata", "src", "nogoroutine"))
 }
 
+func TestNoChainRecursion(t *testing.T) {
+	analysistest.Run(t, lint.NoChainRecursion, filepath.Join("testdata", "src", "nochainrecursion"))
+}
+
 func TestSimTime(t *testing.T) {
 	analysistest.Run(t, lint.SimTime, filepath.Join("testdata", "src", "simtime"))
 }

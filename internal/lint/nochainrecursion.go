@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoChainRecursion flags continuations that re-enter sim.Env.Chain.
+// Chain inlines its continuation on the caller's Go stack whenever the
+// current instant has nothing else pending, so a continuation that
+// chains again — itself directly, itself through a captured variable,
+// or any nested Chain call — recurses on the real stack until the
+// kernel's depth guard panics. Repetition belongs in Env.Schedule or a
+// spawned process loop, where each step is a fresh event.
+var NoChainRecursion = &Analyzer{
+	Name: "nochainrecursion",
+	Doc: "forbid continuations that re-enter sim.Env.Chain\n\n" +
+		"Chain runs its continuation inline when the instant is otherwise " +
+		"idle, so a continuation that calls Chain again recurses on the Go " +
+		"stack until the kernel's depth guard panics; repeat work with " +
+		"Env.Schedule or a process loop instead.",
+	Run: runNoChainRecursion,
+}
+
+func runNoChainRecursion(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Nested chain: a function literal passed straight to
+				// Chain must not itself call Chain.
+				if isEnvChain(pass.TypesInfo, n) && len(n.Args) == 1 {
+					if lit, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit); ok {
+						reportChainCalls(pass, lit.Body, nil,
+							"Env.Chain inside a chained continuation recurses inline; "+
+								"schedule the follow-up with Env.Schedule or drive it from a process loop")
+					}
+				}
+			case *ast.FuncDecl:
+				// Self-chain by name: a function or method passing
+				// itself to Chain.
+				if n.Body != nil {
+					if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+						reportChainCalls(pass, n.Body, fn,
+							"continuation chains itself; Chain inlines same-instant "+
+								"continuations, so self-chaining recurses until the depth "+
+								"guard panics — use Env.Schedule or a process loop")
+					}
+				}
+			case *ast.AssignStmt:
+				// Self-chain through a captured binding:
+				// loop = func() { env.Chain(loop) }.
+				for i, rhs := range n.Rhs {
+					lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+					if ok && i < len(n.Lhs) {
+						if obj := refObject(pass.TypesInfo, n.Lhs[i]); obj != nil {
+							reportChainCalls(pass, lit.Body, obj,
+								"continuation chains itself through its own binding; Chain "+
+									"inlines same-instant continuations, so this recurses until "+
+									"the depth guard panics — use Env.Schedule or a process loop")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportChainCalls reports every Env.Chain call under root whose
+// argument resolves to self (any argument when self is nil).
+func reportChainCalls(pass *Pass, root ast.Node, self types.Object, msg string) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isEnvChain(pass.TypesInfo, call) {
+			return true
+		}
+		if self == nil {
+			pass.Reportf(call.Pos(), "%s", msg)
+			return true
+		}
+		if len(call.Args) == 1 && refObject(pass.TypesInfo, call.Args[0]) == self {
+			pass.Reportf(call.Pos(), "%s", msg)
+		}
+		return true
+	})
+}
+
+// isEnvChain reports whether call invokes the sim kernel's
+// (*Env).Chain method.
+func isEnvChain(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Chain" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && isSimType(sig.Recv().Type(), "Env")
+}
+
+// refObject resolves expr — an identifier, field selector, or method
+// value — to its types.Object, or nil for anything more complex.
+func refObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

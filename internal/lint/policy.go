@@ -82,6 +82,8 @@ func IsHostPackage(pkgPath string) bool { return inList(pkgPath, hostPackages) }
 //     legitimately time real execution.
 //   - nogoroutine: simulation packages except the kernel itself,
 //     which owns all concurrency.
+//   - nochainrecursion: all simulation packages including the kernel —
+//     a self-chaining continuation is a stack bomb wherever it lives.
 //   - maporder and simtime: everywhere in the module except
 //     allowlisted host packages — reporting and facade code feed
 //     golden output too, and sim.Time hygiene is global.
@@ -94,6 +96,8 @@ func Applies(a *Analyzer, pkgPath string) bool {
 		return IsSimPackage(pkgPath)
 	case "nogoroutine":
 		return IsSimPackage(pkgPath) && pkgPath != SimKernelPath
+	case "nochainrecursion":
+		return IsSimPackage(pkgPath)
 	case "maporder", "simtime":
 		return !inList(pkgPath, orderExempt)
 	}
@@ -102,7 +106,7 @@ func Applies(a *Analyzer, pkgPath string) bool {
 
 // Analyzers returns the full dcslint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoWallClock, MapOrder, NoGoroutine, SimTime}
+	return []*Analyzer{NoWallClock, MapOrder, NoGoroutine, NoChainRecursion, SimTime}
 }
 
 // byName returns the analyzer with the given name, or nil.

@@ -1,0 +1,44 @@
+// nochainrecursion cases: continuations handed to sim.Env.Chain run
+// inline on the caller's Go stack when the instant is otherwise idle,
+// so a continuation that re-enters Chain recurses until the kernel's
+// depth guard panics. Leaf continuations and Schedule-driven repeats
+// stay legal.
+package nochainrecursion
+
+import "dcsctrl/internal/sim"
+
+func nested(env *sim.Env) {
+	env.Chain(func() {
+		env.Chain(nop) // want `Env\.Chain inside a chained continuation`
+	})
+}
+
+type dev struct {
+	env *sim.Env
+}
+
+func (d *dev) kick() {
+	d.env.Chain(d.kick) // want `continuation chains itself`
+}
+
+func viaBinding(env *sim.Env) {
+	var loop func()
+	loop = func() { env.Chain(loop) } // want `chains itself through its own binding`
+	env.Schedule(0, loop)
+}
+
+func fine(env *sim.Env) {
+	env.Chain(nop)           // leaf continuation
+	env.Chain(func() { nop() })
+	f := func() {}
+	env.Chain(f) // opaque binding, no self-reference
+	env.Schedule(0, func() { env.Chain(nop) }) // scheduled, not chained
+}
+
+func allowed(env *sim.Env) {
+	var loop func()
+	loop = func() { env.Chain(loop) } //dcslint:allow nochainrecursion deliberate runaway for a depth-guard fixture
+	env.Schedule(0, loop)
+}
+
+func nop() {}

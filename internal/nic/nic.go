@@ -110,11 +110,25 @@ type nicQueue struct {
 	cplFirst  uint64    // cumulative index of cplBuf[0]
 	cplIssued uint64    // completions assigned an index (issue order)
 
-	// Reused per-packet scratch (send-BD chain, LSO segments): one
-	// packet is in flight per queue at a time, so a single slice each
-	// makes the transmit path allocation-free in steady state.
-	chain []SendBD
-	segs  []ether.Segment
+	// Send-descriptor burst fetch: bdStage stages a wrap-aware vectored
+	// DMA of every posted-but-unfetched send BD; sbdCache holds the
+	// decoded burst, sendFetched the cumulative fetch cursor.
+	bdStage     mem.Addr
+	sbdCache    []SendBD
+	sbdHead     int
+	sendFetched uint64
+	sendExts    []mem.Extent // merged gather extents scratch (txLoop only)
+	cplExts     []mem.Extent // completion-flush extents scratch (rxCplLoop only)
+
+	// irqQueued coalesces same-instant arm doorbells into one deferred
+	// interrupt check (irqFn bound once; see Env.Chain).
+	irqQueued bool
+	irqFn     func()
+
+	// Reused per-packet LSO segment scratch: one packet is in flight
+	// per queue at a time, so a single slice makes the transmit path
+	// allocation-free in steady state.
+	segs []ether.Segment
 }
 
 // bdLen returns the number of prefetched, unconsumed receive BDs.
@@ -280,6 +294,7 @@ func (n *NIC) txWireLoop(p *sim.Proc) {
 			n.scheduleDelivery(peer.rxQ, f.frame)
 			break
 		}
+		n.env.CountIO(1) // one wire frame left the device
 	}
 }
 
@@ -336,6 +351,11 @@ func (n *NIC) ConfigureQueue(cfg QueueConfig) {
 		rxSlots:  sim.NewQueue[mem.Addr](n.env, fmt.Sprintf("%s-rxslots%d", n.Name, cfg.QID)),
 		rxPend:   sim.NewQueue[rxPending](n.env, fmt.Sprintf("%s-rxpend%d", n.Name, cfg.QID)),
 		cplStage: n.internal.Alloc(4<<10, 64),
+		bdStage:  n.internal.Alloc(uint64(cfg.SendEntries)*SendBDSize, 64),
+	}
+	q.irqFn = func() {
+		q.irqQueued = false
+		n.maybeIRQ(q)
 	}
 	for i := 0; i < rxDMATags; i++ {
 		q.rxSlots.Put(n.internal.Alloc(2048, 64))
@@ -367,14 +387,26 @@ func (n *NIC) onDoorbell(off uint64, _ int) {
 	case dbSendArm:
 		q.sendAck = val
 		q.armed = true
-		n.maybeIRQ(q)
+		n.queueIRQCheck(q)
 	case dbRecvTail:
 		q.recvTail = val
 		q.recvKick.Broadcast()
 	case dbRecvArm:
 		q.recvAck = val
 		q.armed = true
-		n.maybeIRQ(q)
+		n.queueIRQCheck(q)
+	}
+}
+
+// queueIRQCheck defers the queue's interrupt check to the end of the
+// current instant so same-instant send-arm and recv-arm doorbells
+// coalesce into one check (and at most one MSI). The doorbell hook is
+// in tail position of the posted-write delivery, so Chain may legally
+// run the check inline when nothing else is due.
+func (n *NIC) queueIRQCheck(q *nicQueue) {
+	if !q.irqQueued {
+		q.irqQueued = true
+		n.env.Chain(q.irqFn)
 	}
 }
 
@@ -391,73 +423,142 @@ func (n *NIC) maybeIRQ(q *nicQueue) {
 	}
 }
 
+// fetchSendBDs burst-fetches every posted-but-unfetched send BD in one
+// wrap-aware vectored DMA (at most two extents) and decodes the batch
+// into the queue's descriptor cache. Per-descriptor stuck-read faults
+// are still drawn individually so injection statistics are preserved;
+// recovery re-reads the whole burst once after the accumulated delay.
+func (n *NIC) fetchSendBDs(p *sim.Proc, q *nicQueue) {
+	avail := int(q.sendTail - q.sendFetched)
+	if avail == 0 {
+		return
+	}
+	slot := int(q.sendFetched % uint64(q.cfg.SendEntries))
+	exts := ringExtents(q.sendExts[:0], q.cfg.SendRing.Base, slot, avail, q.cfg.SendEntries, SendBDSize)
+	q.sendExts = exts
+	n.fab.MustDMAVec(p, n.port, q.bdStage, exts, true)
+	p.Sleep(n.params.BDFetch)
+	stuck := 0
+	for i := 0; i < avail; i++ {
+		if n.params.Faults.Hit(fault.NICStuckBD) {
+			stuck++
+		}
+	}
+	if stuck > 0 {
+		// Stale descriptor reads: re-fetch after the recovery delay.
+		n.bdRefetches += int64(stuck)
+		p.Sleep(sim.Time(stuck) * stuckBDRecovery)
+		n.fab.MustDMAVec(p, n.port, q.bdStage, exts, true)
+		p.Sleep(n.params.BDFetch)
+	}
+	if q.sbdHead == len(q.sbdCache) {
+		q.sbdCache = q.sbdCache[:0]
+		q.sbdHead = 0
+	}
+	raw := n.fab.Mem().View(q.bdStage, avail*SendBDSize)
+	for i := 0; i < avail; i++ {
+		bd, err := DecodeSendBD(raw[i*SendBDSize:])
+		if err != nil {
+			panic(err) // corrupted ring memory is a modelling bug
+		}
+		q.sbdCache = append(q.sbdCache, bd)
+	}
+	q.sendFetched += uint64(avail)
+}
+
+// ringExtents appends the wrap-aware extents (at most two) covering n
+// consecutive entries of size esz starting at slot head in a ring of
+// entries slots based at base.
+func ringExtents(exts []mem.Extent, base mem.Addr, head, n, entries, esz int) []mem.Extent {
+	first := entries - head
+	if first > n {
+		first = n
+	}
+	exts = append(exts, mem.Extent{Addr: base + mem.Addr(uint64(head)*uint64(esz)), Len: first * esz})
+	if n > first {
+		exts = append(exts, mem.Extent{Addr: base, Len: (n - first) * esz})
+	}
+	return exts
+}
+
 // txLoop consumes send BD chains, gathers buffers, applies LSO and
-// checksum offload, and serializes frames onto the wire.
+// checksum offload, and serializes frames onto the wire. Descriptors
+// are burst-fetched and every complete chain in the burst is
+// transmitted before the single per-burst status write-back and
+// interrupt check — the descriptor-drain batching of real NICs.
 func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 	mm := n.fab.Mem()
 	for {
 		for q.sendHead == q.sendTail {
 			q.sendKick.Wait(p)
 		}
-		// Collect one packet chain (BDs up to and including END).
-		chain := q.chain[:0]
-		head := q.sendHead
+		n.fetchSendBDs(p, q)
+		sent := false
 		for {
-			if head == q.sendTail {
-				// Incomplete chain posted; wait for the rest.
-				q.sendKick.Wait(p)
-				continue
+			// Find one complete chain (through its END flag) in the cache.
+			end := -1
+			for i := q.sbdHead; i < len(q.sbdCache); i++ {
+				if i-q.sbdHead >= 64 {
+					panic("nic: runaway BD chain without END flag")
+				}
+				if q.sbdCache[i].Flags&SendFlagEnd != 0 {
+					end = i
+					break
+				}
 			}
-			slot := head % uint64(q.cfg.SendEntries)
-			bdAddr := q.cfg.SendRing.Base + mem.Addr(slot*SendBDSize)
-			n.fab.MustDMA(p, n.port, q.scratch, bdAddr, SendBDSize)
-			p.Sleep(n.params.BDFetch)
-			if n.params.Faults.Hit(fault.NICStuckBD) {
-				// Stale descriptor read: re-fetch after a recovery delay.
-				n.bdRefetches++
-				p.Sleep(stuckBDRecovery)
-				n.fab.MustDMA(p, n.port, q.scratch, bdAddr, SendBDSize)
-				p.Sleep(n.params.BDFetch)
+			if end < 0 {
+				if q.sendFetched != q.sendTail {
+					n.fetchSendBDs(p, q)
+					continue
+				}
+				if !sent {
+					// Incomplete chain posted; wait for the rest.
+					q.sendKick.Wait(p)
+					n.fetchSendBDs(p, q)
+					continue
+				}
+				break // flush what was consumed; outer loop waits for more
 			}
-			bd, err := DecodeSendBD(mm.View(q.scratch, SendBDSize))
-			if err != nil {
-				panic(err) // corrupted ring memory is a modelling bug
-			}
-			chain = append(chain, bd)
-			head++
-			if bd.Flags&SendFlagEnd != 0 {
-				break
-			}
-			if len(chain) > 64 {
-				panic("nic: runaway BD chain without END flag")
-			}
-		}
-		q.chain = chain
+			chain := q.sbdCache[q.sbdHead : end+1]
+			q.sbdHead = end + 1
 
-		// Gather the chain into the queue's staging buffer.
-		off := 0
-		for _, bd := range chain {
-			if off+int(bd.Len) > 128<<10 {
-				panic("nic: send chain exceeds staging buffer")
+			// Gather the chain into the queue's staging buffer, merging
+			// physically adjacent fragments into one extent each.
+			off := 0
+			exts := q.sendExts[:0]
+			for _, bd := range chain {
+				if off+int(bd.Len) > 128<<10 {
+					panic("nic: send chain exceeds staging buffer")
+				}
+				if k := len(exts) - 1; k >= 0 && exts[k].Addr+mem.Addr(exts[k].Len) == bd.Addr {
+					exts[k].Len += int(bd.Len)
+				} else {
+					exts = append(exts, mem.Extent{Addr: bd.Addr, Len: int(bd.Len)})
+				}
+				off += int(bd.Len)
 			}
-			n.fab.MustDMA(p, n.port, q.txStage+mem.Addr(off), bd.Addr, int(bd.Len))
-			off += int(bd.Len)
-		}
-		// The staging view is stable for the whole transmit: only this
-		// queue's txLoop writes q.txStage, and Marshal copies each
-		// segment before it reaches the FIFO.
-		raw := mm.View(q.txStage, off)
-		n.transmit(p, q, chain[0], raw)
+			q.sendExts = exts
+			n.fab.MustDMAVec(p, n.port, q.txStage, exts, true)
+			// The staging view is stable for the whole transmit: only this
+			// queue's txLoop writes q.txStage, and Marshal copies each
+			// segment before it reaches the FIFO.
+			raw := mm.View(q.txStage, off)
+			n.transmit(p, q, chain[0], raw)
+			q.sendHead += uint64(len(chain))
 
-		q.sendHead = head
-		// BD completion: buffers were fully fetched into the FIFO, so
-		// the submitter may reuse them (wire transmission proceeds
-		// asynchronously, as on real hardware).
-		var cnt [8]byte
-		putLE64(cnt[:], q.sendHead)
-		mm.Write(q.scratch, cnt[:])
-		n.fab.MustDMA(p, n.port, q.cfg.SendStatus, q.scratch, 8)
-		n.maybeIRQ(q)
+			// BD completion: buffers were fully fetched into the FIFO, so
+			// the submitter may reuse them (wire transmission proceeds
+			// asynchronously, as on real hardware). The write-back stays
+			// per chain — withholding it until the whole burst drained
+			// would stall submitters waiting on completed chains while a
+			// later chain's frames trickle onto the wire.
+			var cnt [8]byte
+			putLE64(cnt[:], q.sendHead)
+			mm.Write(q.scratch, cnt[:])
+			n.fab.MustDMA(p, n.port, q.cfg.SendStatus, q.scratch, 8)
+			n.maybeIRQ(q)
+			sent = true
+		}
 	}
 }
 
@@ -489,17 +590,38 @@ func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
 			Flags: proto.Flags | ether.FlagACK, Payload: payload})
 	}
 	q.segs = segs
-	for i := range segs {
+	// The LSO segment loop runs in batched events: each pass pays the
+	// pipeline cost for a run of frames in one sleep and marshals the
+	// run back-to-back. Run sizes ramp up exponentially so the wire is
+	// fed after one frame's overhead and never starves while later,
+	// larger runs build (the total overhead charged is identical to the
+	// per-frame model); a full FIFO still parks the process.
+	ramp := 1
+	for i := 0; i < len(segs); {
 		for n.txFIFO.Len() >= txFIFOCap {
 			n.txSpace.Wait(p)
 		}
+		run := txFIFOCap - n.txFIFO.Len()
+		if run > ramp {
+			run = ramp
+		}
+		if rem := len(segs) - i; run > rem {
+			run = rem
+		}
 		// Per-frame pipeline cost overlaps wire serialization: it is
 		// paid here, in the build stage, not on the wire.
-		p.Sleep(n.params.TxOverhead)
-		// Checksum offload happens in MarshalTo; recycled frame
-		// buffers make steady-state transmission allocation-free.
-		frame := segs[i].MarshalTo(n.getFrameBuf())
-		n.txFIFO.Put(outFrame{frame: frame, wireLen: segs[i].WireLen(), payLen: len(segs[i].Payload)})
+		p.Sleep(n.params.TxOverhead * sim.Time(run))
+		for j := 0; j < run; j++ {
+			s := &segs[i+j]
+			// Checksum offload happens in MarshalTo; recycled frame
+			// buffers make steady-state transmission allocation-free.
+			frame := s.MarshalTo(n.getFrameBuf())
+			n.txFIFO.Put(outFrame{frame: frame, wireLen: s.WireLen(), payLen: len(s.Payload)})
+		}
+		i += run
+		if ramp < txFIFOCap {
+			ramp *= 2
+		}
 	}
 }
 
@@ -544,38 +666,36 @@ func (n *NIC) fetchRecvBDs(p *sim.Proc, q *nicQueue) {
 }
 
 // flushCompletions writes pending completion entries and the status
-// counter in batched DMAs, then fires the (armed) interrupt.
+// counter in one vectored DMA (completion runs first, status counter
+// last, so a consumer woken by the status write always sees every
+// entry), then fires the (armed) interrupt.
 func (n *NIC) flushCompletions(p *sim.Proc, q *nicQueue) {
-	if len(q.cplBuf) == 0 {
+	k := len(q.cplBuf)
+	if k == 0 {
 		return
 	}
 	mm := n.fab.Mem()
-	i := 0
-	idx := q.cplFirst
-	for i < len(q.cplBuf) {
-		slot := idx % uint64(q.cfg.RecvEntries)
-		run := len(q.cplBuf) - i
-		if room := q.cfg.RecvEntries - int(slot); run > room {
-			run = room
-		}
-		// Encode straight into the staging region (device-internal, no
-		// write hook) instead of through a bounce buffer.
-		stage, stageOff := mm.MustResolve(q.cplStage)
-		for j := 0; j < run; j++ {
-			enc := q.cplBuf[i+j].Encode()
-			stage.WriteAt(stageOff+uint64(j*RecvCplSize), enc[:])
-		}
-		n.fab.MustDMA(p, n.port, q.cfg.RecvCpl.Base+mem.Addr(slot*RecvCplSize), q.cplStage, run*RecvCplSize)
-		i += run
-		idx += uint64(run)
+	// Encode straight into the staging region (device-internal, no
+	// write hook) instead of through a bounce buffer; entries first,
+	// the 8-byte status counter right after.
+	stage, stageOff := mm.MustResolve(q.cplStage)
+	for j := 0; j < k; j++ {
+		enc := q.cplBuf[j].Encode()
+		stage.WriteAt(stageOff+uint64(j*RecvCplSize), enc[:])
 	}
-	q.recvCplN = idx
-	q.cplBuf = q.cplBuf[:0]
-	q.cplFirst = idx
+	q.recvCplN = q.cplFirst + uint64(k)
 	var cnt [8]byte
 	putLE64(cnt[:], q.recvCplN)
-	mm.Write(q.cplStage, cnt[:])
-	n.fab.MustDMA(p, n.port, q.cfg.RecvStatus, q.cplStage, 8)
+	stage.WriteAt(stageOff+uint64(k*RecvCplSize), cnt[:])
+
+	slot := int(q.cplFirst % uint64(q.cfg.RecvEntries))
+	exts := ringExtents(q.cplExts[:0], q.cfg.RecvCpl.Base, slot, k, q.cfg.RecvEntries, RecvCplSize)
+	exts = append(exts, mem.Extent{Addr: q.cfg.RecvStatus, Len: 8})
+	q.cplExts = exts
+	n.fab.MustDMAVec(p, n.port, q.cplStage, exts, false)
+
+	q.cplBuf = q.cplBuf[:0]
+	q.cplFirst = q.recvCplN
 	n.maybeIRQ(q)
 }
 
@@ -606,32 +726,45 @@ type rxPending struct {
 // per-frame work (descriptor fetch, payload DMA, completions) happens
 // in per-queue pipelines so receive throughput scales with queues.
 func (n *NIC) rxLoop(p *sim.Proc) {
+	var burst [][]byte // scratch: same-instant arrival batch
 	for {
-		frame := n.rxQ.Get(p)
-		p.Sleep(n.params.RxDemux)
-		// The view-parsed payload aliases frame; both travel together
-		// in the rxFrame and the payload is copied into the receive
-		// buffer before the frame is recycled.
-		seg, err := ether.ParseView(frame)
-		if err != nil {
-			n.rxErrors++
-			n.putFrameBuf(frame)
-			continue
+		burst = append(burst[:0], n.rxQ.Get(p))
+		for len(burst) < rxBatch {
+			frame, ok := n.rxQ.TryGet()
+			if !ok {
+				break
+			}
+			burst = append(burst, frame)
 		}
-		qid, ok := n.steering[seg.Flow.Tuple()]
-		if !ok {
-			qid = 0
+		// One demux occupancy per arrival burst (interrupt-coalescing
+		// analogue): the per-frame cost is uniform, so the charge is
+		// the same k*RxDemux the serial loop would accumulate.
+		p.Sleep(sim.Time(len(burst)) * n.params.RxDemux)
+		for _, frame := range burst {
+			// The view-parsed payload aliases frame; both travel
+			// together in the rxFrame and the payload is copied into
+			// the receive buffer before the frame is recycled.
+			seg, err := ether.ParseView(frame)
+			if err != nil {
+				n.rxErrors++
+				n.putFrameBuf(frame)
+				continue
+			}
+			qid, ok := n.steering[seg.Flow.Tuple()]
+			if !ok {
+				qid = 0
+			}
+			q, exists := n.queues[qid]
+			if !exists {
+				n.drops++
+				n.putFrameBuf(frame)
+				continue
+			}
+			for q.rxFIFO.Len() >= rxQueueCap {
+				q.rxSpace.Wait(p)
+			}
+			q.rxFIFO.Put(rxFrame{frame: frame, seg: seg})
 		}
-		q, exists := n.queues[qid]
-		if !exists {
-			n.drops++
-			n.putFrameBuf(frame)
-			continue
-		}
-		for q.rxFIFO.Len() >= rxQueueCap {
-			q.rxSpace.Wait(p)
-		}
-		q.rxFIFO.Put(rxFrame{frame: frame, seg: seg})
 	}
 }
 
@@ -639,65 +772,83 @@ func (n *NIC) rxLoop(p *sim.Proc) {
 // fills posted buffers (pausing, PFC-style, while none are posted),
 // and writes coalesced completions.
 func (n *NIC) rxQueueLoop(p *sim.Proc, q *nicQueue) {
-	mm := n.fab.Mem()
+	var burst []rxFrame // scratch: same-instant frame batch
 	for {
-		rf := q.rxFIFO.Get(p)
-		q.rxSpace.Broadcast()
-		p.Sleep(n.params.RxOverhead)
-		seg := rf.seg
-		// Per-queue (priority) flow control: with no posted buffer the
-		// queue pauses until the consumer recycles some. In-flight DMAs
-		// retire meanwhile and the completer flushes them, so the
-		// consumer always sees enough completions to make progress.
-		for q.bdLen() == 0 {
-			n.fetchRecvBDs(p, q)
-			if q.bdLen() > 0 {
+		burst = append(burst[:0], q.rxFIFO.Get(p))
+		for len(burst) < rxBatch {
+			rf, ok := q.rxFIFO.TryGet()
+			if !ok {
 				break
 			}
-			q.recvKick.Wait(p)
+			burst = append(burst, rf)
 		}
-		bd := q.bdCache[q.bdHead]
-		q.bdHead++
-		bdIndex := uint32(q.cplIssued % uint64(q.cfg.RecvEntries))
-
-		hdr := rf.frame[:ether.HeadersLen]
-		pay := seg.Payload
-		cpl := RecvCpl{BDIndex: bdIndex, Seq: seg.Seq, Flags: seg.Flags, Valid: 1,
-			HdrLen: uint16(len(hdr)), PayLen: uint16(len(pay))}
-
-		// Issue the payload DMA on a free tag; retirement happens in
-		// order in the completer so completion entries stay FIFO.
-		slot := q.rxSlots.Get(p)
-		var sig *sim.Signal
-		if q.cfg.HeaderSplit {
-			// Header at offset 0, payload at HdrOff, moved as one DMA.
-			if int(bd.Len) < HdrOff+len(pay) {
-				n.drops++
-				q.rxSlots.Put(slot)
-				n.putFrameBuf(rf.frame)
-				continue
-			}
-			mm.Zero(slot, HdrOff)
-			mm.Write(slot, hdr)
-			if len(pay) > 0 {
-				mm.Write(slot+HdrOff, pay)
-			}
-			n.putFrameBuf(rf.frame) // hdr and pay copied into the slot
-			sig = n.fab.DMAAsync(n.port, bd.Addr, slot, HdrOff+len(pay))
-		} else {
-			if int(bd.Len) < len(rf.frame) {
-				n.drops++
-				q.rxSlots.Put(slot)
-				n.putFrameBuf(rf.frame)
-				continue
-			}
-			mm.Write(slot, rf.frame)
-			n.putFrameBuf(rf.frame)
-			sig = n.fab.DMAAsync(n.port, bd.Addr, slot, len(rf.frame))
+		q.rxSpace.Broadcast()
+		// One pipeline occupancy per burst; same uniform-cost argument
+		// as the demux stage above.
+		p.Sleep(sim.Time(len(burst)) * n.params.RxOverhead)
+		for _, rf := range burst {
+			n.rxFill(p, q, rf)
 		}
-		q.cplIssued++
-		q.rxPend.Put(rxPending{cpl: cpl, sig: sig, slot: slot, pay: len(pay)})
 	}
+}
+
+// rxFill lands one parsed frame in a posted receive buffer: BD
+// consumption, (header-split) staging copies, and the payload DMA.
+func (n *NIC) rxFill(p *sim.Proc, q *nicQueue, rf rxFrame) {
+	mm := n.fab.Mem()
+	seg := rf.seg
+	// Per-queue (priority) flow control: with no posted buffer the
+	// queue pauses until the consumer recycles some. In-flight DMAs
+	// retire meanwhile and the completer flushes them, so the
+	// consumer always sees enough completions to make progress.
+	for q.bdLen() == 0 {
+		n.fetchRecvBDs(p, q)
+		if q.bdLen() > 0 {
+			break
+		}
+		q.recvKick.Wait(p)
+	}
+	bd := q.bdCache[q.bdHead]
+	q.bdHead++
+	bdIndex := uint32(q.cplIssued % uint64(q.cfg.RecvEntries))
+
+	hdr := rf.frame[:ether.HeadersLen]
+	pay := seg.Payload
+	cpl := RecvCpl{BDIndex: bdIndex, Seq: seg.Seq, Flags: seg.Flags, Valid: 1,
+		HdrLen: uint16(len(hdr)), PayLen: uint16(len(pay))}
+
+	// Issue the payload DMA on a free tag; retirement happens in
+	// order in the completer so completion entries stay FIFO.
+	slot := q.rxSlots.Get(p)
+	var sig *sim.Signal
+	if q.cfg.HeaderSplit {
+		// Header at offset 0, payload at HdrOff, moved as one DMA.
+		if int(bd.Len) < HdrOff+len(pay) {
+			n.drops++
+			q.rxSlots.Put(slot)
+			n.putFrameBuf(rf.frame)
+			return
+		}
+		mm.Zero(slot, HdrOff)
+		mm.Write(slot, hdr)
+		if len(pay) > 0 {
+			mm.Write(slot+HdrOff, pay)
+		}
+		n.putFrameBuf(rf.frame) // hdr and pay copied into the slot
+		sig = n.fab.DMAAsync(n.port, bd.Addr, slot, HdrOff+len(pay))
+	} else {
+		if int(bd.Len) < len(rf.frame) {
+			n.drops++
+			q.rxSlots.Put(slot)
+			n.putFrameBuf(rf.frame)
+			return
+		}
+		mm.Write(slot, rf.frame)
+		n.putFrameBuf(rf.frame)
+		sig = n.fab.DMAAsync(n.port, bd.Addr, slot, len(rf.frame))
+	}
+	q.cplIssued++
+	q.rxPend.Put(rxPending{cpl: cpl, sig: sig, slot: slot, pay: len(pay)})
 }
 
 // rxCplLoop retires receive DMAs in order, recycles tag slots, and

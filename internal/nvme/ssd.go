@@ -93,12 +93,25 @@ type devQP struct {
 	dbTail    int // last SQ tail doorbell value
 	cqTail    int
 	phase     bool
-	cqHeadSee int           // last CQ head doorbell value
-	sqKick    *sim.Cond     // SQ tail doorbell arrived
-	cqKick    *sim.Cond     // CQ head doorbell arrived
-	sqeBuf    mem.Addr      // per-QP staging for fetched SQEs
-	cqeBuf    mem.Addr      // per-QP staging for posted CQEs
-	cqLock    *sim.Resource // serializes CQE posting per queue
+	cqHeadSee int       // last CQ head doorbell value
+	sqKick    *sim.Cond // SQ tail doorbell arrived
+	cqKick    *sim.Cond // CQ head doorbell arrived
+	sqBatch   mem.Addr  // staging for burst-fetched SQEs (Entries slots)
+	cqBatch   mem.Addr  // staging for coalesced CQE posts (Entries slots)
+
+	// kickQueued coalesces same-instant SQ doorbell rings into one
+	// deferred sqKick broadcast (kickFn is bound once at setup so the
+	// doorbell hot path does not allocate a closure per ring).
+	kickQueued bool
+	kickFn     func()
+
+	// cplPend holds finished commands awaiting a CQ slot; the per-QP
+	// completer drains it in same-instant batches. Bounded by the
+	// submitter's ring flow control (< Entries outstanding commands).
+	cplPend []Completion
+	cplWork *sim.Cond
+	sqExts  []mem.Extent // wrap-aware fetch extents (qpLoop only)
+	cqExts  []mem.Extent // wrap-aware post extents (cplLoop only)
 }
 
 // NewSSD builds the device, allocating its BAR and staging regions and
@@ -156,12 +169,20 @@ func (s *SSD) CreateQueuePair(cfg RingConfig, msiVector int) {
 		phase:     true,
 		sqKick:    sim.NewCond(s.env),
 		cqKick:    sim.NewCond(s.env),
-		sqeBuf:    s.staging.Alloc(CommandSize, 64),
-		cqeBuf:    s.staging.Alloc(CompletionSize, 64),
-		cqLock:    sim.NewResource(s.env, fmt.Sprintf("%s-qp%d-cq", s.Name, cfg.QID), 1),
+		sqBatch:   s.staging.Alloc(uint64(cfg.Entries)*CommandSize, 64),
+		cqBatch:   s.staging.Alloc(uint64(cfg.Entries)*CompletionSize, 64),
+		cplPend:   make([]Completion, 0, cfg.Entries),
+		cplWork:   sim.NewCond(s.env),
+		sqExts:    make([]mem.Extent, 0, 2),
+		cqExts:    make([]mem.Extent, 0, 2),
+	}
+	qp.kickFn = func() {
+		qp.kickQueued = false
+		qp.sqKick.Broadcast()
 	}
 	s.qps[cfg.QID] = qp
 	s.env.Spawn(fmt.Sprintf("%s-qp%d", s.Name, cfg.QID), func(p *sim.Proc) { s.qpLoop(p, qp) })
+	s.env.Spawn(fmt.Sprintf("%s-qp%d-cpl", s.Name, cfg.QID), func(p *sim.Proc) { s.cplLoop(p, qp) })
 }
 
 // DoorbellAddrs returns the SQ-tail and CQ-head doorbell addresses for
@@ -179,12 +200,35 @@ func (s *SSD) onDoorbell(off uint64, n int) {
 	}
 	val := int(le64(s.Doorbells.Bytes(off, 8)))
 	if off%dbStride == 0 {
+		// Coalesce same-instant tail rings: the deferred kick runs after
+		// every doorbell delivery queued for this instant, so the QP loop
+		// wakes once and sees the final tail (a multi-entry doorbell
+		// drain, as real NVMe devices do). The continuation is a pure
+		// scheduling action, so Chain may legally run it inline.
 		qp.dbTail = val
-		qp.sqKick.Broadcast()
+		if !qp.kickQueued {
+			qp.kickQueued = true
+			s.env.Chain(qp.kickFn)
+		}
 	} else {
 		qp.cqHeadSee = val
 		qp.cqKick.Broadcast()
 	}
+}
+
+// ringExtents appends the wrap-aware extents (at most two) covering n
+// consecutive entries of size esz starting at index head in a ring of
+// entries slots based at base.
+func ringExtents(exts []mem.Extent, base mem.Addr, head, n, entries, esz int) []mem.Extent {
+	first := entries - head
+	if first > n {
+		first = n
+	}
+	exts = append(exts, mem.Extent{Addr: base + mem.Addr(uint64(head)*uint64(esz)), Len: first * esz})
+	if n > first {
+		exts = append(exts, mem.Extent{Addr: base, Len: (n - first) * esz})
+	}
+	return exts
 }
 
 func (s *SSD) qpLoop(p *sim.Proc, qp *devQP) {
@@ -192,27 +236,33 @@ func (s *SSD) qpLoop(p *sim.Proc, qp *devQP) {
 		for qp.sqHead == qp.dbTail {
 			qp.sqKick.Wait(p)
 		}
-		// Fetch the SQE by DMA into the QP's staging scratch.
-		sqeAddr := qp.cfg.SQ.Base + mem.Addr(uint64(qp.sqHead)*CommandSize)
-		s.fab.MustDMA(p, s.port, qp.sqeBuf, sqeAddr, CommandSize)
-		cmd, err := DecodeCommand(s.fab.Mem().View(qp.sqeBuf, CommandSize))
-		sqHead := (qp.sqHead + 1) % qp.cfg.Entries
-		qp.sqHead = sqHead
-		if err != nil {
-			s.complete(p, qp, Completion{CID: cmd.CID, SQHead: uint16(sqHead), SQID: qp.cfg.QID, Status: StatusInternalErr})
-			continue
-		}
-		p.Sleep(s.params.CmdDecode)
-		// Execute concurrently up to the channel count; completions may
-		// land out of order, which the CID matching absorbs. Handing the
-		// job to a parked pool worker enqueues the same resume event a
-		// fresh Spawn would, so pooling does not perturb event order.
-		job := execJob{qp: qp, cmd: cmd, sqHead: sqHead}
-		if s.execIdle > 0 {
-			s.execIdle--
-			s.execJobs.Put(job)
-		} else {
-			s.env.Spawn(s.Name+"-exec", func(ep *sim.Proc) { s.execWorker(ep, job) })
+		// Drain every newly posted SQE in one pass: burst-fetch the
+		// whole window by vectored DMA (one or two extents depending on
+		// ring wrap), decode the batch in one sitting, then dispatch.
+		avail := (qp.dbTail - qp.sqHead + qp.cfg.Entries) % qp.cfg.Entries
+		qp.sqExts = ringExtents(qp.sqExts[:0], qp.cfg.SQ.Base, qp.sqHead, avail, qp.cfg.Entries, CommandSize)
+		s.fab.MustDMAVec(p, s.port, qp.sqBatch, qp.sqExts, true)
+		p.Sleep(s.params.CmdDecode * sim.Time(avail))
+		for i := 0; i < avail; i++ {
+			raw := s.fab.Mem().View(qp.sqBatch+mem.Addr(i*CommandSize), CommandSize)
+			cmd, err := DecodeCommand(raw)
+			sqHead := (qp.sqHead + 1) % qp.cfg.Entries
+			qp.sqHead = sqHead
+			if err != nil {
+				s.finishCmd(qp, Completion{CID: cmd.CID, SQHead: uint16(sqHead), SQID: qp.cfg.QID, Status: StatusInternalErr})
+				continue
+			}
+			// Execute concurrently up to the channel count; completions may
+			// land out of order, which the CID matching absorbs. Handing the
+			// job to a parked pool worker enqueues the same resume event a
+			// fresh Spawn would, so pooling does not perturb event order.
+			job := execJob{qp: qp, cmd: cmd, sqHead: sqHead}
+			if s.execIdle > 0 {
+				s.execIdle--
+				s.execJobs.Put(job)
+			} else {
+				s.env.Spawn(s.Name+"-exec", func(ep *sim.Proc) { s.execWorker(ep, job) })
+			}
 		}
 	}
 }
@@ -228,7 +278,7 @@ func (s *SSD) execWorker(ep *sim.Proc, job execJob) {
 		s.exec.Acquire(ep)
 		status := s.execute(ep, job.cmd, &pages, &exts)
 		s.exec.Release()
-		s.complete(ep, job.qp, Completion{CID: job.cmd.CID, SQHead: uint16(job.sqHead), SQID: job.qp.cfg.QID, Status: status})
+		s.finishCmd(job.qp, Completion{CID: job.cmd.CID, SQHead: uint16(job.sqHead), SQID: job.qp.cfg.QID, Status: status})
 		s.execIdle++
 		job = s.execJobs.Get(ep)
 	}
@@ -319,25 +369,59 @@ func (s *SSD) dmaPages(p *sim.Proc, pages []mem.Addr, slot mem.Addr, toPages boo
 	return s.fab.DMAVec(p, s.port, slot, exts, !toPages)
 }
 
-func (s *SSD) complete(p *sim.Proc, qp *devQP, cpl Completion) {
-	qp.cqLock.Acquire(p)
-	defer qp.cqLock.Release()
-	// Respect CQ flow control: wait while the CQ is full.
-	for (qp.cqTail+1)%qp.cfg.Entries == qp.cqHeadSee {
-		qp.cqKick.Wait(p)
-	}
-	cpl.Phase = qp.phase
-	raw := cpl.Encode()
-	s.fab.Mem().Write(qp.cqeBuf, raw[:])
-	cqeAddr := qp.cfg.CQ.Base + mem.Addr(uint64(qp.cqTail)*CompletionSize)
-	s.fab.MustDMA(p, s.port, cqeAddr, qp.cqeBuf, CompletionSize)
-	qp.cqTail++
-	if qp.cqTail == qp.cfg.Entries {
-		qp.cqTail = 0
-		qp.phase = !qp.phase
-	}
-	if qp.msiVector >= 0 {
-		s.fab.RaiseMSI(qp.msiVector)
+// finishCmd hands a finished command to the QP's completer. It never
+// blocks: CQ flow control is absorbed by cplPend, which the submitter's
+// ring bounds to fewer than Entries outstanding commands.
+func (s *SSD) finishCmd(qp *devQP, cpl Completion) {
+	qp.cplPend = append(qp.cplPend, cpl)
+	qp.cplWork.Broadcast()
+}
+
+// cqFree returns the number of free CQ slots under NVMe flow control
+// (one slot is always left open to distinguish full from empty).
+func (s *SSD) cqFree(qp *devQP) int {
+	return (qp.cqHeadSee - qp.cqTail - 1 + qp.cfg.Entries) % qp.cfg.Entries
+}
+
+// cplLoop is the QP's completion coalescer: it gathers every command
+// that finished at the current instant and posts their CQEs in one
+// pass — one vectored DMA (two extents on ring wrap) and at most one
+// MSI per batch, instead of a DMA and an interrupt per command.
+// Submitters are insensitive to MSI count: ProcessCompletions drains
+// the CQ by phase bit regardless of how many interrupts coalesced.
+func (s *SSD) cplLoop(p *sim.Proc, qp *devQP) {
+	for {
+		for len(qp.cplPend) == 0 {
+			qp.cplWork.Wait(p)
+		}
+		// Let every command finishing at this instant land first.
+		p.Yield()
+		for s.cqFree(qp) == 0 {
+			qp.cqKick.Wait(p)
+		}
+		k := len(qp.cplPend)
+		if free := s.cqFree(qp); k > free {
+			k = free
+		}
+		qp.cqExts = ringExtents(qp.cqExts[:0], qp.cfg.CQ.Base, qp.cqTail, k, qp.cfg.Entries, CompletionSize)
+		for i := 0; i < k; i++ {
+			cpl := qp.cplPend[i]
+			cpl.Phase = qp.phase
+			raw := cpl.Encode()
+			s.fab.Mem().Write(qp.cqBatch+mem.Addr(i*CompletionSize), raw[:])
+			qp.cqTail++
+			if qp.cqTail == qp.cfg.Entries {
+				qp.cqTail = 0
+				qp.phase = !qp.phase
+			}
+		}
+		s.fab.MustDMAVec(p, s.port, qp.cqBatch, qp.cqExts, false)
+		n := copy(qp.cplPend, qp.cplPend[k:])
+		qp.cplPend = qp.cplPend[:n]
+		s.env.CountIO(k)
+		if qp.msiVector >= 0 {
+			s.fab.RaiseMSI(qp.msiVector)
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -87,12 +88,36 @@ type Env struct {
 	yield chan struct{} // end-of-chain signal back to the Run caller
 	live  int           // processes spawned and not yet terminated
 	steps uint64        // events dispatched (diagnostics)
+
+	fuse       bool   // zero-delay fusion enabled (Chain inline, Yield fast path)
+	fused      uint64 // continuations run inline instead of enqueued
+	ios        uint64 // protocol-level I/O completions (CountIO)
+	chainDepth int    // live inline Chain nesting (runaway-recursion guard)
 }
+
+// fusionOff inverts the package default so the zero value means fusion
+// is ON; SetDefaultFusion(false) lets the equivalence suite build
+// unfused environments without threading a flag through every model.
+var fusionOff atomic.Bool
+
+// SetDefaultFusion sets whether environments created after this call
+// run zero-delay fusion (Chain inline + Yield fast path). It exists for
+// A/B equivalence testing; production code leaves fusion on.
+func SetDefaultFusion(on bool) { fusionOff.Store(!on) }
+
+// DefaultFusion reports the current package-wide default.
+func DefaultFusion() bool { return !fusionOff.Load() }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{}), horizon: -1}
+	return &Env{yield: make(chan struct{}), horizon: -1, fuse: !fusionOff.Load()}
 }
+
+// SetFusion overrides zero-delay fusion for this environment only.
+func (e *Env) SetFusion(on bool) { e.fuse = on }
+
+// Fusion reports whether zero-delay fusion is enabled for this env.
+func (e *Env) Fusion() bool { return e.fuse }
 
 // Now returns the current simulation time.
 func (e *Env) Now() Time { return e.now }
@@ -213,6 +238,64 @@ func (e *Env) Run(horizon Time) Time {
 // Pending reports whether any events remain queued.
 func (e *Env) Pending() bool { return e.fifoHead < len(e.fifo) || len(e.heap) > 0 }
 
+// pendingNow reports whether any already-queued event is due at the
+// current instant. While false, the next dispatch would be the event we
+// are about to enqueue, so running it inline is schedule-identical.
+func (e *Env) pendingNow() bool {
+	return e.fifoHead < len(e.fifo) || (len(e.heap) > 0 && e.heap[0].at == e.now)
+}
+
+// maxChainDepth bounds live inline Chain nesting. Legal protocol
+// batching fuses a handful of frames deep; anything approaching this
+// limit is a same-instant recursion bug (see dcslint nochainrecursion).
+const maxChainDepth = 1 << 16
+
+// Chain schedules fn at the current instant, running it inline when
+// that is schedule-identical to enqueueing: fusion is on and no queued
+// event is due now (so fn would be dispatched next anyway). Callers
+// must only Chain continuations that are either in tail position of the
+// current event or pure scheduling actions (wakes/broadcasts with no
+// other observable effect) — otherwise inline execution could reorder
+// observable work relative to the unfused schedule. With fusion off, or
+// when same-instant work is already queued, fn is enqueued normally.
+func (e *Env) Chain(fn func()) {
+	if e.fuse && !e.pendingNow() {
+		e.fused++
+		e.chainDepth++
+		if e.chainDepth > maxChainDepth {
+			panic("sim: Chain recursion exceeded maxChainDepth (unbounded same-instant recursion?)")
+		}
+		fn()
+		e.chainDepth--
+		return
+	}
+	e.enqueue(e.now, event{fn: fn})
+}
+
+// CountIO records n protocol-level I/O completions (NVMe CQEs, NIC wire
+// frames, HDC command completions) for events-per-I/O accounting.
+func (e *Env) CountIO(n int) { e.ios += uint64(n) }
+
+// Stats is a snapshot of per-run kernel dispatch counters.
+type Stats struct {
+	Events uint64 // events dispatched through the queue
+	Fused  uint64 // continuations fused inline (Chain / Yield fast path)
+	IOs    uint64 // protocol I/O completions recorded via CountIO
+}
+
+// EventsPerIO returns dispatched events per recorded I/O (0 if none).
+func (s Stats) EventsPerIO() float64 {
+	if s.IOs == 0 {
+		return 0
+	}
+	return float64(s.Events) / float64(s.IOs)
+}
+
+// Stats returns the environment's dispatch counters.
+func (e *Env) Stats() Stats {
+	return Stats{Events: e.steps, Fused: e.fused, IOs: e.ios}
+}
+
 // handoff resumes p, transferring the dispatch role to its goroutine.
 func (e *Env) handoff(p *Proc) {
 	if p.dead {
@@ -329,9 +412,17 @@ func (p *Proc) Sleep(d Time) {
 }
 
 // Yield lets every event already scheduled for the current instant run
-// before the process continues.
+// before the process continues. When fusion is on and nothing is due at
+// the current instant, the round trip through the queue is skipped
+// entirely: the unfused schedule would pop our own resume straight back
+// (dispatchFrom's proc == self case), so returning immediately is
+// schedule-identical.
 func (p *Proc) Yield() {
 	e := p.env
+	if e.fuse && !e.pendingNow() {
+		e.fused++
+		return
+	}
 	e.enqueue(e.now, event{proc: p})
 	p.park()
 }
