@@ -9,7 +9,12 @@
 //     baseline. Event counts are deterministic (they come from the
 //     simulation schedule, not the wall clock), so this gate is immune
 //     to runner noise and catches protocol-efficiency regressions that
-//     ns/op tolerances would absorb.
+//     ns/op tolerances would absorb, and
+//   - any path whose baseline collapses frames into analytic flow
+//     segments (seg_frames_per_op > 0) that stops collapsing them —
+//     the knob-not-dead gate for the wire fast path. A silently dead
+//     fast path would also trip the events gate, but this one names
+//     the cause instead of the symptom.
 //
 // It understands both report shapes emitted by cmd/dcsbench:
 // BENCH_dataplane.json (data-plane microbenchmarks) and
@@ -33,12 +38,13 @@ import (
 
 // metric is one comparable measurement extracted from a report.
 type metric struct {
-	ns     float64 // time per op/event; 0 = absent
-	allocs float64
-	events float64 // kernel events per op / per I/O; 0 = absent
-	hasNs  bool
-	zeroed bool // baseline promises zero allocs on this path
-	soft   bool // informational only (whole-run wall clocks): never fails
+	ns        float64 // time per op/event; 0 = absent
+	allocs    float64
+	events    float64 // kernel events per op / per I/O; 0 = absent
+	segFrames float64 // frames collapsed into flow segments per op
+	hasNs     bool
+	zeroed    bool // baseline promises zero allocs on this path
+	soft      bool // informational only (whole-run wall clocks): never fails
 }
 
 // eventTolerance is the hard ceiling on deterministic event-count
@@ -65,10 +71,11 @@ type kernelReport struct {
 
 type dataplaneReport struct {
 	Benches []struct {
-		Name        string  `json:"name"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
-		EventsPerOp float64 `json:"events_per_op"`
+		Name           string  `json:"name"`
+		NsPerOp        float64 `json:"ns_per_op"`
+		AllocsPerOp    float64 `json:"allocs_per_op"`
+		EventsPerOp    float64 `json:"events_per_op"`
+		SegFramesPerOp float64 `json:"seg_frames_per_op"`
 	} `json:"benches"`
 }
 
@@ -87,7 +94,7 @@ func load(path string) (map[string]metric, error) {
 	if len(dp.Benches) > 0 {
 		for _, b := range dp.Benches {
 			out[b.Name] = metric{ns: b.NsPerOp, allocs: b.AllocsPerOp, events: b.EventsPerOp,
-				hasNs: true, zeroed: b.AllocsPerOp == 0}
+				segFrames: b.SegFramesPerOp, hasNs: true, zeroed: b.AllocsPerOp == 0}
 		}
 		return out, nil
 	}
@@ -166,6 +173,10 @@ func main() {
 		}
 		if b.events > 0 && c.events > b.events*(1+eventTolerance) {
 			status = "EVENTS"
+			failed = true
+		}
+		if b.segFrames > 0 && c.segFrames == 0 {
+			status = "NOSEG" // flow fast path went dead on this bench
 			failed = true
 		}
 		line := fmt.Sprintf("%-6s %-24s ns %12.2f -> %12.2f (%.2fx)  allocs %g -> %g",

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"dcsctrl/internal/bench"
+	"dcsctrl/internal/sim"
 )
 
 var experiments = []string{
@@ -41,7 +42,18 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	benchjson := flag.String("benchjson", "", "write a kernel+wall-time perf report (BENCH_kernel.json) to this file")
 	dataplanejson := flag.String("dataplanejson", "", "write the data-plane microbenchmark report (BENCH_dataplane.json) to this file")
+	wire := flag.String("wire", "flow", "wire model fidelity: flow (analytic fast path, default) or frame (every frame simulated)")
 	flag.Parse()
+
+	switch *wire {
+	case "flow":
+		sim.SetDefaultWireFidelity(sim.WireFlow)
+	case "frame":
+		sim.SetDefaultWireFidelity(sim.WireFrame)
+	default:
+		fmt.Fprintf(os.Stderr, "dcsbench: -wire must be flow or frame, got %q\n", *wire)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments, "\n"))

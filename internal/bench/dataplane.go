@@ -29,6 +29,11 @@ type DataplaneStat struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	HeapPerOp   float64 `json:"heap_bytes_per_op"`       // allocator bytes, not payload
 	EventsPerOp float64 `json:"events_per_op,omitempty"` // kernel events dispatched per op
+	// SegFramesPerOp counts frames carried inside analytic flow
+	// segments per op — the knob-not-dead signal for the wire fast
+	// path (cmd/benchdiff fails when a baseline that collapses frames
+	// stops collapsing them).
+	SegFramesPerOp float64 `json:"seg_frames_per_op,omitempty"`
 }
 
 // DataplaneReport is the BENCH_dataplane.json payload.
@@ -65,9 +70,11 @@ func measureOps(name string, bytesPerOp, warm, ops int, fn func(n int)) Dataplan
 // protocol-efficiency number the batching work optimizes.
 func measureSimOps(env *sim.Env, name string, bytesPerOp, warm, ops int, fn func(n int)) DataplaneStat {
 	fn(warm)
-	before := env.Steps()
+	before := env.Stats()
 	st := measureOps(name, bytesPerOp, 0, ops, fn)
-	st.EventsPerOp = float64(env.Steps()-before) / float64(ops)
+	after := env.Stats()
+	st.EventsPerOp = float64(after.Events-before.Events) / float64(ops)
+	st.SegFramesPerOp = float64(after.SegFrames-before.SegFrames) / float64(ops)
 	return st
 }
 
@@ -236,6 +243,12 @@ func newNicNode(env *sim.Env, name string) *nicNode {
 	port := fab.AddPort(name + "-root")
 	dram := mm.AddRegion(name+"-dram", mem.HostDRAM, 16<<20, true)
 	fab.Attach(port, dram)
+	// Private fabric, one initiator, and a completion-driven rig (the
+	// echo driver only sends after the previous reply lands): the
+	// analytic flow path including plan bookings is legal end-to-end
+	// (falls back per-frame automatically under WireFrame).
+	fab.SetFlowExclusive()
+	fab.SetFlowReactive()
 	n := nic.NewNIC(env, fab, name+"-nic", nic.DefaultParams())
 	const entries = 256
 	sring := mm.AddRegion(name+"-sring", mem.HostDRAM, entries*nic.SendBDSize, true)
@@ -352,6 +365,66 @@ func benchNICEcho() DataplaneStat {
 	return measureSimOps(env, "nic_frame_echo", 2*(ether.HeadersLen+payLen), 500, 10000, run)
 }
 
+// benchNICBulkStream measures one 64 KiB LSO job delivered end to end:
+// node A posts a two-BD LSO chain, the NIC segments it into 45 frames,
+// the flow fast path collapses the steady-state run into analytic
+// claims, and the op completes when B's completion hook has seen every
+// frame of the job. Completion-driven like the echo, so the reactive
+// analytic rig stays legal; the per-frame fidelity cost of the same
+// job is the events_per_op baseline this bench exists to guard.
+func benchNICBulkStream() DataplaneStat {
+	env := sim.NewEnv()
+	a := newNicNode(env, "a")
+	b := newNicNode(env, "b")
+	nic.Connect(a.nic, b.nic)
+	flow := ether.Flow{
+		SrcMAC: ether.MAC{2, 0, 0, 0, 0, 1}, DstMAC: ether.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: ether.IP{10, 0, 0, 1}, DstIP: ether.IP{10, 0, 0, 2},
+		SrcPort: 5001, DstPort: 80,
+	}
+	const jobLen = 64 << 10
+	frames := (jobLen + ether.MSS - 1) / ether.MSS
+
+	hdr := ether.HeaderTemplate(flow, 0, ether.FlagACK|ether.FlagPSH)
+	hdrAddr := a.dram.Alloc(uint64(len(hdr)), 64)
+	a.mm.Write(hdrAddr, hdr)
+	payAddr := a.dram.Alloc(jobLen, 4096)
+	a.mm.Write(payAddr, make([]byte, jobLen))
+	bBufs := b.dram.Alloc(128*2048, 4096)
+	b.postBufs(bBufs, 128)
+
+	got := 0
+	kick := sim.NewCond(env)
+	b.status.SetWriteHook(func(off uint64, n int) {
+		b.fills = b.recv.AppendPoll(b.fills[:0])
+		if len(b.fills) == 0 {
+			return
+		}
+		got += len(b.fills)
+		b.postBufs(bBufs, len(b.fills))
+		kick.Broadcast()
+	})
+
+	run := simRunner(env, func(p *sim.Proc, i int) {
+		want := got + frames
+		// SendBD.Len is 16-bit: the 64 KiB payload rides as two 32 KiB
+		// descriptors, the same split the host kernel's LSO path uses.
+		bds := [...]nic.SendBD{
+			{Addr: hdrAddr, Len: ether.HeadersLen, Flags: nic.SendFlagLSO, MSS: ether.MSS},
+			{Addr: payAddr, Len: 32 << 10},
+			{Addr: payAddr + 32<<10, Len: 32 << 10, Flags: nic.SendFlagEnd},
+		}
+		if err := a.send.Push(bds[:]); err != nil {
+			panic(err)
+		}
+		a.send.RingDoorbell()
+		for got < want {
+			kick.Wait(p)
+		}
+	})
+	return measureSimOps(env, "nic_bulk_stream_64k", jobLen, 100, 2000, run)
+}
+
 // NewDataplaneReport runs all data-plane microbenchmarks.
 func NewDataplaneReport() *DataplaneReport {
 	return &DataplaneReport{
@@ -364,6 +437,7 @@ func NewDataplaneReport() *DataplaneReport {
 			benchDMAVec(),
 			benchNVMeRead(),
 			benchNICEcho(),
+			benchNICBulkStream(),
 		},
 	}
 }

@@ -39,6 +39,11 @@ func (n *Node) lookupConnByTuple(t ether.Tuple) *hostConn {
 func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 	hp := n.Params.Host
 	var fills []nic.Filled // scratch, reused across wakes
+	type rxSeg struct {
+		c       *hostConn
+		payload []byte // view into the frame buffer, valid until repost
+	}
+	var segs []rxSeg // scratch, reused across wakes
 	for {
 		fills = recv.AppendPoll(fills[:0])
 		if len(fills) == 0 {
@@ -58,6 +63,7 @@ func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 			cost += sim.Time(len(fills)) * hp.SockBufOp
 		}
 		n.Host.Exec(p, trace.CatNetStack, cost, nil)
+		segs = segs[:0]
 		for _, f := range fills {
 			// View: the payload is copied into c.stream before the
 			// buffer is reposted by postRecvBuffers below.
@@ -75,7 +81,23 @@ func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 					seg.Seq, c.rxSeq, c.id, n.Name))
 			}
 			c.rxSeq += uint32(len(seg.Payload))
-			c.pushStream(seg.Payload)
+			segs = append(segs, rxSeg{c, seg.Payload})
+		}
+		// Segment-granularity delivery: a poll batch of a bulk stream is
+		// a run of contiguous frames for one connection (the flow fast
+		// path delivers whole segments this way). Reserve each run's
+		// bytes at once so reassembly compacts/grows per run, not per
+		// frame. Purely a data-structure change — stream contents,
+		// rxSeq advancement, and all charged costs are unchanged.
+		for i := 0; i < len(segs); {
+			j, runBytes := i, 0
+			for ; j < len(segs) && segs[j].c == segs[i].c; j++ {
+				runBytes += len(segs[j].payload)
+			}
+			segs[i].c.reserveStream(runBytes)
+			for ; i < j; i++ {
+				segs[i].c.pushStream(segs[i].payload)
+			}
 		}
 		n.postRecvBuffers(recv)
 		n.rxWake.Broadcast()

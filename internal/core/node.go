@@ -90,17 +90,19 @@ type hostConn struct {
 	rd     int    // consumed prefix (head index, capacity-preserving)
 }
 
-// pushStream appends payload bytes, compacting the consumed prefix and
-// growing by doubling: Go's native large-slice growth (~1.25x) plus the
-// capacity bleed of reslicing on consume made reassembly a top copy
-// cost at 40 GbE.
-func (c *hostConn) pushStream(b []byte) {
-	if len(c.stream)+len(b) > cap(c.stream) && c.rd > 0 {
+// reserveStream guarantees room for extra more unconsumed bytes,
+// compacting the consumed prefix and growing by doubling: Go's native
+// large-slice growth (~1.25x) plus the capacity bleed of reslicing on
+// consume made reassembly a top copy cost at 40 GbE. Segment-
+// granularity deliveries (netRxLoop) reserve a whole frame run up
+// front so the compact/grow decision runs once per run, not per frame.
+func (c *hostConn) reserveStream(extra int) {
+	if len(c.stream)+extra > cap(c.stream) && c.rd > 0 {
 		m := copy(c.stream, c.stream[c.rd:])
 		c.stream = c.stream[:m]
 		c.rd = 0
 	}
-	if need := len(c.stream) + len(b); need > cap(c.stream) {
+	if need := len(c.stream) + extra; need > cap(c.stream) {
 		newCap := 2 * cap(c.stream)
 		if newCap < need {
 			newCap = need
@@ -112,6 +114,11 @@ func (c *hostConn) pushStream(b []byte) {
 		copy(ns, c.stream)
 		c.stream = ns
 	}
+}
+
+// pushStream appends payload bytes to the reassembled stream.
+func (c *hostConn) pushStream(b []byte) {
+	c.reserveStream(len(b))
 	c.stream = append(c.stream, b...)
 }
 

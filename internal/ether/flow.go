@@ -1,0 +1,164 @@
+package ether
+
+// Flow-level fidelity: the per-flow transmit state machine deciding
+// when a connection's outbound stream is in steady state, i.e. when
+// the NIC may legally collapse a burst of frames into one analytic
+// flow segment (sim.WireFlow). The machine is pure bookkeeping over
+// burst classifications — it owns no clocks and touches no simulator
+// state — so every transition is table-testable.
+//
+// The crossover contract (DESIGN.md §13): a flow segment may only be
+// emitted while the state machine reports Steady, and the NIC must
+// additionally verify the mechanical conditions of the moment (no
+// armed fault site on the path, wire backlog analytic, frame budget
+// within the FIFO cap). Everything that is not provably collapsible —
+// connection setup and teardown, short messages, bare ACKs and other
+// control packets, bursts sent while a fault site is armed — stays at
+// per-frame fidelity.
+
+// FlowPhase is the fidelity phase of one transmit direction.
+type FlowPhase int
+
+const (
+	// FlowIdle: no recent bulk traffic; everything is per-frame.
+	FlowIdle FlowPhase = iota
+	// FlowRamp: bulk bursts observed, but not yet enough consecutive
+	// ones to trust the stream as steady.
+	FlowRamp
+	// FlowSteady: back-to-back bulk bursts; segments may be emitted.
+	FlowSteady
+	// FlowDrain: teardown seen (FIN/RST); the stream is winding down
+	// per-frame until new traffic re-ramps it.
+	FlowDrain
+)
+
+// String implements fmt.Stringer for test failure messages.
+func (p FlowPhase) String() string {
+	switch p {
+	case FlowIdle:
+		return "idle"
+	case FlowRamp:
+		return "ramp"
+	case FlowSteady:
+		return "steady"
+	case FlowDrain:
+		return "drain"
+	}
+	return "invalid"
+}
+
+// BurstClass classifies one transmit burst (the segments of one send
+// chain) for the state machine.
+type BurstClass int
+
+const (
+	// BurstBulk: full-size frames back to back, with at most a final
+	// tail no smaller than ShortFrameBytes — the collapsible shape.
+	BurstBulk BurstClass = iota
+	// BurstShort: a short message or bare ACK; bypassed per-frame
+	// without disturbing the phase.
+	BurstShort
+	// BurstSetup: connection establishment (SYN seen).
+	BurstSetup
+	// BurstTeardown: connection teardown (FIN or RST seen).
+	BurstTeardown
+)
+
+// String implements fmt.Stringer for test failure messages.
+func (c BurstClass) String() string {
+	switch c {
+	case BurstBulk:
+		return "bulk"
+	case BurstShort:
+		return "short"
+	case BurstSetup:
+		return "setup"
+	case BurstTeardown:
+		return "teardown"
+	}
+	return "invalid"
+}
+
+const (
+	// ShortFrameBytes is the payload size below which a single-frame
+	// burst is a short message rather than the tail of a bulk stream.
+	ShortFrameBytes = 256
+
+	// steadyAfter is how many consecutive bulk bursts promote a flow
+	// from ramp to steady. Two keeps the per-frame prefix short while
+	// still refusing to collapse a first-of-its-kind burst.
+	steadyAfter = 2
+)
+
+// ClassifySegments classifies one burst of segments (one send chain).
+func ClassifySegments(segs []Segment) BurstClass {
+	for i := range segs {
+		if segs[i].Flags&FlagSYN != 0 {
+			return BurstSetup
+		}
+		if segs[i].Flags&(FlagFIN|FlagRST) != 0 {
+			return BurstTeardown
+		}
+	}
+	if len(segs) == 0 {
+		return BurstShort
+	}
+	for i := 0; i < len(segs)-1; i++ {
+		if len(segs[i].Payload) != MSS {
+			return BurstShort
+		}
+	}
+	if len(segs[len(segs)-1].Payload) < ShortFrameBytes {
+		return BurstShort
+	}
+	return BurstBulk
+}
+
+// FlowState tracks the fidelity phase of one transmit direction of a
+// connection. The zero value is a flow at FlowIdle.
+type FlowState struct {
+	phase FlowPhase
+	runs  int // consecutive bulk bursts in the current ramp
+}
+
+// Phase returns the current phase.
+func (s *FlowState) Phase() FlowPhase { return s.phase }
+
+// Eligible reports whether the flow may emit segments right now.
+func (s *FlowState) Eligible() bool { return s.phase == FlowSteady }
+
+// Observe feeds one burst classification through the machine and
+// returns the phase the burst itself must be transmitted under (the
+// transition happens before the burst is sent, so the burst that
+// completes a ramp is already collapsible).
+func (s *FlowState) Observe(c BurstClass) FlowPhase {
+	switch c {
+	case BurstSetup:
+		s.phase, s.runs = FlowIdle, 0
+	case BurstTeardown:
+		s.phase, s.runs = FlowDrain, 0
+	case BurstShort:
+		// Bypass: short messages ride per-frame without resetting the
+		// ramp — a keep-alive inside a bulk stream must not demote it.
+	case BurstBulk:
+		switch s.phase {
+		case FlowIdle, FlowDrain:
+			s.phase, s.runs = FlowRamp, 1
+		case FlowRamp:
+			s.runs++
+			if s.runs >= steadyAfter {
+				s.phase = FlowSteady
+			}
+		case FlowSteady:
+			// Stays steady.
+		}
+	}
+	return s.phase
+}
+
+// Demote drops the flow back to idle — called when a fault site on
+// the transmit path is armed, so the stream must re-earn steady state
+// after the hazard clears.
+func (s *FlowState) Demote() {
+	s.phase, s.runs = FlowIdle, 0
+}

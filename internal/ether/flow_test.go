@@ -1,0 +1,176 @@
+package ether
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFlowStateTransitions drives every edge of the per-flow phase
+// machine through scripted burst sequences and checks the phase after
+// each observation. The machine is pure, so the table pins the full
+// transition relation (DESIGN.md §13).
+func TestFlowStateTransitions(t *testing.T) {
+	type step struct {
+		class BurstClass
+		want  FlowPhase
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"idle-ramps-on-bulk", []step{
+			{BurstBulk, FlowRamp},
+		}},
+		{"ramp-promotes-after-two", []step{
+			{BurstBulk, FlowRamp},
+			{BurstBulk, FlowSteady},
+		}},
+		{"steady-stays-steady", []step{
+			{BurstBulk, FlowRamp},
+			{BurstBulk, FlowSteady},
+			{BurstBulk, FlowSteady},
+			{BurstBulk, FlowSteady},
+		}},
+		{"short-bypasses-without-reset", []step{
+			{BurstBulk, FlowRamp},
+			{BurstShort, FlowRamp}, // keep-alive must not reset the ramp
+			{BurstBulk, FlowSteady},
+		}},
+		{"short-bypasses-in-steady", []step{
+			{BurstBulk, FlowRamp},
+			{BurstBulk, FlowSteady},
+			{BurstShort, FlowSteady},
+			{BurstBulk, FlowSteady},
+		}},
+		{"short-alone-stays-idle", []step{
+			{BurstShort, FlowIdle},
+			{BurstShort, FlowIdle},
+		}},
+		{"setup-resets-to-idle", []step{
+			{BurstBulk, FlowRamp},
+			{BurstBulk, FlowSteady},
+			{BurstSetup, FlowIdle},
+			{BurstBulk, FlowRamp}, // must re-earn steady from scratch
+			{BurstBulk, FlowSteady},
+		}},
+		{"teardown-drains", []step{
+			{BurstBulk, FlowRamp},
+			{BurstBulk, FlowSteady},
+			{BurstTeardown, FlowDrain},
+		}},
+		{"drain-reramps-on-bulk", []step{
+			{BurstTeardown, FlowDrain},
+			{BurstBulk, FlowRamp},
+			{BurstBulk, FlowSteady},
+		}},
+		{"teardown-from-ramp", []step{
+			{BurstBulk, FlowRamp},
+			{BurstTeardown, FlowDrain},
+			{BurstShort, FlowDrain},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s FlowState
+			if s.Phase() != FlowIdle {
+				t.Fatalf("zero value phase = %v, want idle", s.Phase())
+			}
+			for i, st := range tc.steps {
+				got := s.Observe(st.class)
+				if got != st.want {
+					t.Fatalf("step %d (%v): phase = %v, want %v", i, st.class, got, st.want)
+				}
+				if s.Eligible() != (st.want == FlowSteady) {
+					t.Fatalf("step %d: Eligible() = %v in phase %v", i, s.Eligible(), st.want)
+				}
+			}
+		})
+	}
+}
+
+// TestFlowStateDemote pins the fault-triggered demotion: from every
+// phase, Demote drops to idle and the flow must re-earn steady state
+// with a full ramp.
+func TestFlowStateDemote(t *testing.T) {
+	setups := map[string]func(*FlowState){
+		"idle":   func(s *FlowState) {},
+		"ramp":   func(s *FlowState) { s.Observe(BurstBulk) },
+		"steady": func(s *FlowState) { s.Observe(BurstBulk); s.Observe(BurstBulk) },
+		"drain":  func(s *FlowState) { s.Observe(BurstTeardown) },
+	}
+	for name, setup := range setups {
+		t.Run(name, func(t *testing.T) {
+			var s FlowState
+			setup(&s)
+			s.Demote()
+			if s.Phase() != FlowIdle || s.Eligible() {
+				t.Fatalf("after Demote from %s: phase = %v", name, s.Phase())
+			}
+			// One bulk burst is not enough to re-promote: the ramp count
+			// must have been reset, not just the phase.
+			if got := s.Observe(BurstBulk); got != FlowRamp {
+				t.Fatalf("first bulk after Demote: phase = %v, want ramp", got)
+			}
+			if got := s.Observe(BurstBulk); got != FlowSteady {
+				t.Fatalf("second bulk after Demote: phase = %v, want steady", got)
+			}
+		})
+	}
+}
+
+// TestClassifySegments pins the burst classifier over the crossover
+// boundaries: full-size runs, tails at the short-frame threshold, and
+// control flags anywhere in the burst.
+func TestClassifySegments(t *testing.T) {
+	seg := func(n int, flags uint8) Segment {
+		return Segment{Flags: flags | FlagACK, Payload: make([]byte, n)}
+	}
+	cases := []struct {
+		name string
+		segs []Segment
+		want BurstClass
+	}{
+		{"empty", nil, BurstShort},
+		{"single-full", []Segment{seg(MSS, 0)}, BurstBulk},
+		{"single-at-threshold", []Segment{seg(ShortFrameBytes, 0)}, BurstBulk},
+		{"single-below-threshold", []Segment{seg(ShortFrameBytes-1, 0)}, BurstShort},
+		{"bare-ack", []Segment{seg(0, 0)}, BurstShort},
+		{"bulk-run", []Segment{seg(MSS, 0), seg(MSS, 0), seg(MSS, 0)}, BurstBulk},
+		{"bulk-with-tail", []Segment{seg(MSS, 0), seg(MSS, 0), seg(512, 0)}, BurstBulk},
+		{"bulk-with-short-tail", []Segment{seg(MSS, 0), seg(100, 0)}, BurstShort},
+		{"undersized-middle", []Segment{seg(MSS, 0), seg(1000, 0), seg(MSS, 0)}, BurstShort},
+		{"syn-first", []Segment{seg(0, FlagSYN)}, BurstSetup},
+		{"syn-inside-bulk", []Segment{seg(MSS, 0), seg(MSS, FlagSYN)}, BurstSetup},
+		{"fin-last", []Segment{seg(MSS, 0), seg(MSS, FlagFIN)}, BurstTeardown},
+		{"rst", []Segment{seg(0, FlagRST)}, BurstTeardown},
+		{"syn-beats-fin", []Segment{seg(0, FlagSYN), seg(0, FlagFIN)}, BurstSetup},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ClassifySegments(tc.segs); got != tc.want {
+				t.Fatalf("ClassifySegments = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlowPhaseStrings keeps the diagnostic names stable (they appear
+// in test failure messages and trace output).
+func TestFlowPhaseStrings(t *testing.T) {
+	for p, want := range map[FlowPhase]string{
+		FlowIdle: "idle", FlowRamp: "ramp", FlowSteady: "steady", FlowDrain: "drain",
+		FlowPhase(99): "invalid",
+	} {
+		if got := fmt.Sprint(p); got != want {
+			t.Fatalf("FlowPhase(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+	for c, want := range map[BurstClass]string{
+		BurstBulk: "bulk", BurstShort: "short", BurstSetup: "setup", BurstTeardown: "teardown",
+		BurstClass(99): "invalid",
+	} {
+		if got := fmt.Sprint(c); got != want {
+			t.Fatalf("BurstClass(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Flow-segment-shaped cases: per-flow state lives in maps keyed by
+// connection tuple, and a demotion sweep that ranges such a map must
+// not let Go's randomized iteration order leak into the simulation
+// timeline. The flagged lines are deliberately wrong; their
+// expectation comments are the golden.
+package maporder
+
+import "sort"
+
+type flowPhase int
+
+type flowKey struct{ src, dst uint64 }
+
+// demoteAllUnsorted drains per-flow state in map order: the demotion
+// events would land in a different order every run.
+func demoteAllUnsorted(flows map[flowKey]flowPhase) []flowKey {
+	var demoted []flowKey
+	for k := range flows {
+		demoted = append(demoted, k) // want `append to "demoted" inside a map range records randomized iteration order`
+	}
+	return demoted
+}
+
+// demoteAllSorted is the legal spelling: collect, sort by a total
+// order on the key, then act.
+func demoteAllSorted(flows map[flowKey]flowPhase) []flowKey {
+	keys := make([]flowKey, 0, len(flows))
+	for k := range flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	return keys
+}

@@ -1,0 +1,28 @@
+// Flow-segment-shaped cases: segment bookkeeping must never stamp or
+// pace itself off the host's wall clock — all flow timing comes from
+// the simulated clock. The flagged lines are deliberately wrong;
+// their expectation comments are the golden.
+package nowallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+type flowSegment struct {
+	frames  int
+	started time.Time
+}
+
+// beginSegment stamps an analytic segment with the wall clock.
+func beginSegment(frames int) flowSegment {
+	return flowSegment{
+		frames:  frames,
+		started: time.Now(), // want `time\.Now reads the wall clock`
+	}
+}
+
+// jitterSegment draws crossover jitter from the process-global PRNG.
+func jitterSegment(s *flowSegment) {
+	s.frames += rand.Intn(2) // want `rand\.Intn uses the process-global PRNG`
+}

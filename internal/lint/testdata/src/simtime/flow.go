@@ -1,0 +1,38 @@
+// Flow-segment-shaped cases: the analytic fast path computes wire
+// occupancy for a whole frame run, which is exactly where a raw
+// nanosecond literal would silently disagree with the per-frame
+// schedule it must mirror. The flagged lines are deliberately
+// wrong; their expectation comments are the golden.
+package simtime
+
+import "dcsctrl/internal/sim"
+
+const flowMSS = 1460
+
+// segmentWireTime charges an analytic flow segment. The per-frame
+// overhead must come from a named constant, not a bare literal.
+func segmentWireTime(frames int, perFrame sim.Time) sim.Time {
+	total := sim.Time(frames) * perFrame
+	total += 300 // want `raw integer literal 300 used with sim\.Time`
+	return total
+}
+
+// crossoverDeadline compares a segment's finish against a raw horizon.
+func crossoverDeadline(finish sim.Time) bool {
+	return finish > 2000 // want `raw integer literal 2000 used with sim\.Time`
+}
+
+// segmentStamp hides the unit entirely.
+func segmentStamp() sim.Time {
+	return sim.Time(12500) // want `sim\.Time\(12500\) hides the unit`
+}
+
+// segmentWireTimeRight is the legal spelling: derived durations and
+// named unit constants only.
+func segmentWireTimeRight(frames int, perFrame, overhead sim.Time) sim.Time {
+	total := sim.Time(frames)*perFrame + overhead
+	if total < sim.Microsecond {
+		total = sim.Microsecond
+	}
+	return total
+}

@@ -1,0 +1,770 @@
+package nic
+
+// The analytic receive engine (flow fidelity, DESIGN.md §13): an
+// event-driven replica of the per-frame receive pipeline — demux
+// bursts, per-queue pipeline bursts, descriptor consumption, payload
+// DMA, in-order retirement, coalesced completion flushes — that
+// advances the same clocks and applies every host-visible write at the
+// identical instant, while dispatching a handful of events per burst
+// instead of a handful per frame. When a frame arrives into an
+// otherwise quiescent NIC it books the whole cascade as one analytic
+// plan and fires a single apply event (the dominant shape of
+// request/response traffic).
+//
+// The engine exists only on single-queue NICs of flow-exclusive
+// fabrics without header split; ConfigureQueue refuses new queues once
+// it has started.
+
+import (
+	"fmt"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/sim"
+)
+
+// engFrame is one frame moving through the engine's stages. at is the
+// stage-dependent ready instant; sched is the demux-burst formation
+// instant, kept for the pipeline-burst tie-break.
+type engFrame struct {
+	at    sim.Time
+	sched sim.Time
+	frame []byte
+	seg   ether.Segment
+}
+
+// engPend is one in-flight payload DMA. The host buffer write lands at
+// rdy (the DMA completion); retirement — counters, completion entry,
+// flush decision — happens in issue order at max(rdy, retire-loop
+// free), exactly like the per-frame completer process.
+type engPend struct {
+	rdy   sim.Time
+	dst   mem.Addr
+	frame []byte
+	cpl   RecvCpl
+	pay   int
+}
+
+// engDemux is one formed demux burst awaiting its completion instant,
+// when its frames are parsed, steered, and handed to the pipeline.
+type engDemux struct {
+	applyAt sim.Time
+	sched   sim.Time // formation instant
+	frames  []engFrame
+}
+
+type rxEngine struct {
+	n *NIC
+	q *nicQueue
+
+	// pendingAccepts counts scheduled-but-unfired wireBatch events;
+	// part of the engine's idleness (and every plan's quiescence) test.
+	pendingAccepts int
+
+	arr     []engFrame // arrived frames (arrival ascending)
+	arrHead int
+
+	demuxFree sim.Time
+	demux     *engDemux  // formed burst awaiting applyAt (at most one)
+	demuxPool []engDemux // backing store reuse
+
+	fifo     []engFrame // parsed+steered, awaiting the queue pipeline
+	fifoHead int
+	blocked  []engFrame // demux output stalled on a full pipeline FIFO
+
+	rxqFree  sim.Time // queue-pipeline proc free (last fill issued)
+	rxqSched sim.Time // schedule instant of the event ending at rxqFree
+
+	fill     []engFrame // current pipeline burst being filled, in order
+	fillHead int
+	fillFree sim.Time // descriptor-fetch completion gate
+	bdWait   bool     // starved for posted BDs; recvTail kick resumes
+
+	pend     []engPend
+	wHead    int      // next pend awaiting its buffer write (at rdy)
+	rHead    int      // next pend awaiting retirement
+	cplFree  sim.Time // retirement loop busy-until (flush chains)
+	flushing bool
+	flExts   []mem.Extent
+	flIdx    int
+	flNext   sim.Time // instant of the next flush chain step
+	flOff    mem.Addr // cplStage read cursor for scatter application
+
+	nextWake sim.Time
+	advFn    func()
+	flFn     func()
+	planFn   func()
+	plan     engPlan
+	advanc   bool
+}
+
+// engPlan is one booked whole-cascade plan awaiting its single apply
+// event (see soloPlan).
+type engPlan struct {
+	active bool
+	frame  []byte
+	dst    mem.Addr
+	pay    int
+	exts   []mem.Extent // completion-flush scatter extents
+}
+
+func newRxEngine(n *NIC, q *nicQueue) *rxEngine {
+	if n.params.PropDelay <= sim.Time(rxBatch)*n.params.RxDemux {
+		// The engine's burst-membership tie rule assumes any frame
+		// delivery event was scheduled before a demux wake at the same
+		// instant, which PropDelay > rxBatch*RxDemux guarantees.
+		panic(fmt.Sprintf("nic: %s: PropDelay too short for the flow receive engine", n.Name))
+	}
+	e := &rxEngine{n: n, q: q}
+	e.advFn = e.advance
+	e.flFn = e.flushStep
+	e.planFn = e.applyPlan
+	return e
+}
+
+// engine returns the NIC's analytic receive engine, creating it on
+// first use when legal: flow fidelity on a flow-exclusive fabric, a
+// single queue without header split, no degradable link (the engine
+// skips the per-DMA degrade draws the slow path performs), and a fully
+// drained per-frame receive path (frames must never be in both).
+func (n *NIC) engine() *rxEngine {
+	if n.eng != nil {
+		return n.eng
+	}
+	if !n.fab.FlowMode() || n.fab.FlowDegradeArmed() || len(n.queueList) != 1 {
+		return nil
+	}
+	q := n.queueList[0]
+	if q.cfg.HeaderSplit {
+		return nil
+	}
+	if n.params.PropDelay <= sim.Time(rxBatch)*n.params.RxDemux {
+		return nil
+	}
+	if n.rxQ.Len() != 0 || q.rxFIFO.Len() != 0 || q.rxPend.Len() != 0 || len(q.cplBuf) != 0 {
+		return nil
+	}
+	n.eng = newRxEngine(n, q)
+	return n.eng
+}
+
+// idle reports whether the engine holds no work in any stage.
+func (e *rxEngine) idle() bool {
+	return e.pendingAccepts == 0 && e.arrHead == len(e.arr) && e.demux == nil &&
+		e.fifoHead == len(e.fifo) && len(e.blocked) == 0 &&
+		e.fillHead == len(e.fill) && e.rHead == len(e.pend) &&
+		!e.flushing && !e.bdWait && !e.plan.active
+}
+
+// scheduleArrival hands one per-frame wire delivery to the engine at
+// its arrival instant.
+func (e *rxEngine) scheduleArrival(frame []byte, at sim.Time) {
+	w := e.n.getWireBatch()
+	w.frames = append(w.frames, frame)
+	w.arrivals = append(w.arrivals, at)
+	e.pendingAccepts++
+	e.n.env.Schedule(at-e.n.env.Now(), w.fn)
+}
+
+// acceptBatch receives claimed (or per-frame) wire frames; arrivals
+// are non-decreasing and the first is the current instant.
+func (e *rxEngine) acceptBatch(frames [][]byte, arrivals []sim.Time) {
+	if k := len(e.arr); k > 0 && e.arrHead == k {
+		e.arr = e.arr[:0]
+		e.arrHead = 0
+	}
+	for i, f := range frames {
+		if k := len(e.arr); k > 0 && arrivals[i] < e.arr[k-1].at {
+			panic("nic: engine arrivals out of order")
+		}
+		e.arr = append(e.arr, engFrame{at: arrivals[i], frame: f})
+	}
+	e.advance()
+}
+
+// kick is called from the receive-tail doorbell: newly posted buffers
+// may unblock a starved fill stage.
+func (e *rxEngine) kick() {
+	if e.bdWait {
+		e.bdWait = false
+		e.advance()
+	}
+}
+
+func (e *rxEngine) wake(t sim.Time) {
+	now := e.n.env.Now()
+	if t < now {
+		panic("nic: engine wake in the past")
+	}
+	if e.nextWake != 0 && e.nextWake <= t && e.nextWake > now {
+		return
+	}
+	e.nextWake = t
+	e.n.env.Schedule(t-now, e.advFn)
+}
+
+// advance processes every stage transition due at the current instant
+// and schedules the next wake. All fabric charges happen at their
+// exact instants: the wake discipline guarantees advance runs at every
+// charge-bearing time.
+func (e *rxEngine) advance() {
+	if e.advanc {
+		return
+	}
+	e.advanc = true
+	now := e.n.env.Now()
+	if e.nextWake != 0 && e.nextWake <= now {
+		e.nextWake = 0
+	}
+	for e.step(now) {
+	}
+	e.advanc = false
+	e.scheduleNext(now)
+}
+
+// step performs one due transition; false when nothing further is due
+// at now.
+func (e *rxEngine) step(now sim.Time) bool {
+	// Buffer writes land at DMA completion, independent of retirement.
+	if e.wHead < len(e.pend) && e.pend[e.wHead].rdy <= now {
+		p := &e.pend[e.wHead]
+		e.n.fab.Mem().Write(p.dst, p.frame)
+		e.n.putFrameBuf(p.frame)
+		p.frame = nil
+		e.wHead++
+		return true
+	}
+	// In-order retirement: counters, completion entry, flush decision.
+	if !e.flushing && e.rHead < e.wHead {
+		if p := &e.pend[e.rHead]; maxT(p.rdy, e.cplFree) <= now {
+			e.retire(p)
+			return true
+		}
+	}
+	// Demux burst completion: parse, steer, hand to the pipeline FIFO.
+	if d := e.demux; d != nil && d.applyAt <= now {
+		e.applyDemux(d)
+		return true
+	}
+	// Pipeline burst formation: only once the previous burst's fills
+	// have all issued (the per-frame pipeline is one process).
+	if e.fillHead == len(e.fill) && !e.bdWait && e.fifoHead < len(e.fifo) {
+		if s := maxT(e.fifo[e.fifoHead].at, e.rxqFree); s <= now {
+			e.formPipelineBurst(s)
+			return true
+		}
+	}
+	// Fill: consume a descriptor and issue the payload DMA. The tag
+	// pool gates issue: with rxDMATags DMAs unretired, the per-frame
+	// pipeline parks on the slot queue until a retirement returns one.
+	if e.fillHead < len(e.fill) && !e.bdWait && len(e.pend)-e.rHead < rxDMATags {
+		if t := maxT(e.fill[e.fillHead].at, e.fillFree); t <= now {
+			return e.fillOne(now)
+		}
+	}
+	// Demux burst formation — or, for a lone arrival into a quiescent
+	// device, the whole-cascade plan.
+	if e.demux == nil && len(e.blocked) == 0 && e.arrHead < len(e.arr) {
+		if w := maxT(e.arr[e.arrHead].at, e.demuxFree); w <= now {
+			if e.soloPlan(now) {
+				return true
+			}
+			e.formDemuxBurst(w)
+			return true
+		}
+	}
+	return false
+}
+
+func (e *rxEngine) formDemuxBurst(w sim.Time) {
+	var d *engDemux
+	if k := len(e.demuxPool); k > 0 {
+		d = &e.demuxPool[k-1]
+		e.demuxPool = e.demuxPool[:k-1]
+	} else {
+		d = &engDemux{}
+	}
+	d.sched = w
+	d.frames = d.frames[:0]
+	for e.arrHead < len(e.arr) && len(d.frames) < rxBatch && e.arr[e.arrHead].at <= w {
+		d.frames = append(d.frames, e.arr[e.arrHead])
+		e.arr[e.arrHead] = engFrame{}
+		e.arrHead++
+	}
+	d.applyAt = w + sim.Time(len(d.frames))*e.n.params.RxDemux
+	e.demuxFree = d.applyAt
+	e.demux = d
+}
+
+func (e *rxEngine) applyDemux(d *engDemux) {
+	n, q := e.n, e.q
+	for i := range d.frames {
+		f := &d.frames[i]
+		seg, err := ether.ParseView(f.frame)
+		if err != nil {
+			n.rxErrors++
+			n.putFrameBuf(f.frame)
+			continue
+		}
+		qid, ok := n.steering[seg.Flow.Tuple()]
+		if !ok {
+			qid = 0
+		}
+		if qid != q.cfg.QID {
+			n.drops++
+			n.putFrameBuf(f.frame)
+			continue
+		}
+		ef := engFrame{at: d.applyAt, sched: d.sched, frame: f.frame, seg: seg}
+		if len(e.blocked) > 0 || len(e.fifo)-e.fifoHead >= rxQueueCap {
+			e.blocked = append(e.blocked, ef)
+			continue
+		}
+		e.fifo = append(e.fifo, ef)
+	}
+	e.demux = nil
+	e.demuxPool = append(e.demuxPool, *d)
+}
+
+func (e *rxEngine) formPipelineBurst(s sim.Time) {
+	if e.fillHead == len(e.fill) {
+		e.fill = e.fill[:0]
+		e.fillHead = 0
+	}
+	k := 0
+	for e.fifoHead < len(e.fifo) && k < rxBatch {
+		f := &e.fifo[e.fifoHead]
+		if f.at > s {
+			break
+		}
+		if f.at == s && s == e.rxqFree && f.sched >= e.rxqSched {
+			// Tie: the frame's demux-completion event was scheduled
+			// after the event that freed the pipeline, so the per-frame
+			// pipeline's burst assembly ran first and missed it.
+			break
+		}
+		e.fill = append(e.fill, *f)
+		*f = engFrame{}
+		e.fifoHead++
+		k++
+	}
+	if e.fifoHead == len(e.fifo) {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
+	end := s + sim.Time(k)*e.n.params.RxOverhead
+	for i := len(e.fill) - k; i < len(e.fill); i++ {
+		e.fill[i].at = end
+	}
+	e.rxqFree, e.rxqSched = end, s
+	// Backpressure release: the per-frame pipeline broadcasts FIFO
+	// space at burst assembly; the stalled demux stage resumes here.
+	if len(e.blocked) > 0 {
+		for i := range e.blocked {
+			b := e.blocked[i]
+			b.at = s
+			e.fifo = append(e.fifo, b)
+			e.blocked[i] = engFrame{}
+		}
+		e.blocked = e.blocked[:0]
+		if e.demuxFree < s {
+			e.demuxFree = s
+		}
+	}
+}
+
+// fillOne lands the next fill-stage frame: descriptor fetch or
+// starvation pause when the cache is dry, then the descriptor consume
+// and the analytic payload DMA. Runs at the exact per-frame instant.
+func (e *rxEngine) fillOne(now sim.Time) bool {
+	n, q := e.n, e.q
+	if q.bdLen() == 0 {
+		if q.recvTail == q.recvHead {
+			e.bdWait = true
+			return false
+		}
+		e.fetchRecvBDsFlow(now)
+		return true
+	}
+	f := e.fill[e.fillHead] // copy out before zeroing the slot
+	e.fill[e.fillHead] = engFrame{}
+	e.fillHead++
+	bd := q.bdCache[q.bdHead]
+	q.bdHead++
+	if int(bd.Len) < len(f.frame) {
+		n.drops++
+		n.putFrameBuf(f.frame)
+		e.rxqFree, e.rxqSched = now, now
+		return true
+	}
+	cpl := RecvCpl{BDIndex: uint32(q.cplIssued % uint64(q.cfg.RecvEntries)),
+		Seq: f.seg.Seq, Flags: f.seg.Flags, Valid: 1,
+		HdrLen: uint16(ether.HeadersLen), PayLen: uint16(len(f.seg.Payload))}
+	rdy := n.fab.FlowChargeAt(n.port, bd.Addr, q.rxStage, len(f.frame), now)
+	q.cplIssued++
+	if e.rHead == len(e.pend) {
+		e.pend = e.pend[:0]
+		e.wHead, e.rHead = 0, 0
+	}
+	e.pend = append(e.pend, engPend{rdy: rdy, dst: bd.Addr, frame: f.frame, cpl: cpl, pay: len(f.seg.Payload)})
+	// The per-frame pipeline proc is free once the DMA is issued; a
+	// trailing gate (fetch) moved its free instant to now.
+	e.rxqFree, e.rxqSched = now, now
+	return true
+}
+
+// fetchRecvBDsFlow is the engine's fetchRecvBDs: same batch size, same
+// completion instant, one charge instead of a blocking DMA walk. The
+// ring bytes are read at issue under the posted-buffer stability
+// contract; decode is immediate, availability gated to the per-frame
+// fetch-done instant via fillFree.
+func (e *rxEngine) fetchRecvBDsFlow(now sim.Time) {
+	n, q := e.n, e.q
+	avail := int(q.recvTail - q.recvHead)
+	batch := avail
+	if batch > rxBatch {
+		batch = rxBatch
+	}
+	slot := q.recvHead % uint64(q.cfg.RecvEntries)
+	if room := q.cfg.RecvEntries - int(slot); batch > room {
+		batch = room
+	}
+	bdAddr := q.cfg.RecvRing.Base + mem.Addr(slot*RecvBDSize)
+	done := n.fab.FlowCopyNow(n.port, q.rxStage, bdAddr, batch*RecvBDSize)
+	if q.bdHead == len(q.bdCache) {
+		q.bdCache = q.bdCache[:0]
+		q.bdHead = 0
+	}
+	raw := n.fab.Mem().View(q.rxStage, batch*RecvBDSize)
+	for i := 0; i < batch; i++ {
+		bd, err := DecodeRecvBD(raw[i*RecvBDSize:])
+		if err != nil {
+			panic(err)
+		}
+		q.bdCache = append(q.bdCache, bd)
+	}
+	q.recvHead += uint64(batch)
+	e.fillFree = done + n.params.BDFetch
+}
+
+// retire is one in-order DMA retirement: counters, the completion
+// entry, and the coalesced-flush decision, at the per-frame completer's
+// instant.
+func (e *rxEngine) retire(p *engPend) {
+	n, q := e.n, e.q
+	n.rxFrames++
+	n.rxPayload += int64(p.pay)
+	n.RxPerQueue[q.cfg.QID]++
+	q.cplBuf = append(q.cplBuf, p.cpl)
+	*p = engPend{}
+	e.rHead++
+	outstanding := len(e.pend) - e.rHead
+	if len(q.cplBuf) >= rxBatch || outstanding == 0 {
+		e.startFlush()
+	}
+}
+
+// startFlush begins the completion flush as a chain of events, one per
+// scatter extent: extent k's charge issues at extent k-1's completion
+// and its host bytes land exactly then — the per-frame sequential DMA
+// walk with the blocking proc replaced by the chain. Entries are
+// encoded into the staging region up front, as the per-frame path does.
+func (e *rxEngine) startFlush() {
+	n, q := e.n, e.q
+	k := len(q.cplBuf)
+	if k == 0 {
+		return
+	}
+	mm := n.fab.Mem()
+	stage, stageOff := mm.MustResolve(q.cplStage)
+	for j := 0; j < k; j++ {
+		enc := q.cplBuf[j].Encode()
+		stage.WriteAt(stageOff+uint64(j*RecvCplSize), enc[:])
+	}
+	q.recvCplN = q.cplFirst + uint64(k)
+	var cnt [8]byte
+	putLE64(cnt[:], q.recvCplN)
+	stage.WriteAt(stageOff+uint64(k*RecvCplSize), cnt[:])
+
+	slot := int(q.cplFirst % uint64(q.cfg.RecvEntries))
+	exts := ringExtents(q.cplExts[:0], q.cfg.RecvCpl.Base, slot, k, q.cfg.RecvEntries, RecvCplSize)
+	exts = append(exts, mem.Extent{Addr: q.cfg.RecvStatus, Len: 8})
+	q.cplExts = exts
+	q.cplBuf = q.cplBuf[:0]
+	q.cplFirst = q.recvCplN
+
+	e.flushing = true
+	e.flExts = exts
+	e.flIdx = 0
+	e.flOff = q.cplStage
+	now := e.n.env.Now()
+	e.flNext = n.fab.FlowChargeAt(n.port, exts[0].Addr, q.cplStage, exts[0].Len, now)
+	n.env.Schedule(e.flNext-now, e.flFn)
+}
+
+// flushStep applies one flushed extent at its completion instant and
+// charges the next.
+func (e *rxEngine) flushStep() {
+	n, q := e.n, e.q
+	now := n.env.Now()
+	ext := e.flExts[e.flIdx]
+	n.fab.Mem().Copy(ext.Addr, e.flOff, ext.Len)
+	e.flOff += mem.Addr(ext.Len)
+	e.flIdx++
+	if e.flIdx < len(e.flExts) {
+		next := e.flExts[e.flIdx]
+		e.flNext = n.fab.FlowChargeAt(n.port, next.Addr, e.flOff, next.Len, now)
+		n.env.Schedule(e.flNext-now, e.flFn)
+		return
+	}
+	// Chain done: the status counter landed last, so any consumer the
+	// hook wakes sees every entry.
+	e.flushing = false
+	e.cplFree = now
+	n.maybeIRQ(q)
+	e.advance()
+}
+
+// scheduleNext books the earliest future charge-bearing instant.
+func (e *rxEngine) scheduleNext(now sim.Time) {
+	var t sim.Time = -1
+	min := func(x sim.Time) {
+		if x > now && (t < 0 || x < t) {
+			t = x
+		}
+	}
+	if e.wHead < len(e.pend) {
+		min(e.pend[e.wHead].rdy)
+	}
+	if !e.flushing && e.rHead < e.wHead {
+		min(maxT(e.pend[e.rHead].rdy, e.cplFree))
+	}
+	if d := e.demux; d != nil {
+		min(d.applyAt)
+	}
+	if e.fillHead == len(e.fill) && !e.bdWait && e.fifoHead < len(e.fifo) {
+		min(maxT(e.fifo[e.fifoHead].at, e.rxqFree))
+	}
+	if e.fillHead < len(e.fill) && !e.bdWait && len(e.pend)-e.rHead < rxDMATags {
+		min(maxT(e.fill[e.fillHead].at, e.fillFree))
+	}
+	if e.demux == nil && len(e.blocked) == 0 && e.arrHead < len(e.arr) {
+		min(maxT(e.arr[e.arrHead].at, e.demuxFree))
+	}
+	if t >= 0 {
+		e.wake(t)
+	}
+}
+
+// soloPlan books the whole receive cascade of a lone arrival — demux,
+// pipeline, descriptor fetch, payload DMA, retirement, completion
+// flush — as analytic charges at their exact per-frame instants, then
+// fires a single apply event at the status write's completion. Legal
+// only behind the full quiescence test (DESIGN.md §13): a private
+// fabric with idle clocks, no posted write/MSI in flight, every
+// transmit queue parked, the engine otherwise empty, hook-free
+// deferred-write targets, and every booked issue inside the foreign-
+// arrival bound now + PropDelay + RxDemux + RxOverhead (the earliest a
+// frame not yet on the wire could charge this fabric). Returns false
+// to fall back to the exact general machinery.
+func (e *rxEngine) soloPlan(now sim.Time) bool {
+	n, q := e.n, e.q
+	if e.plan.active || e.pendingAccepts != 0 || e.arrHead != len(e.arr)-1 {
+		return false
+	}
+	f := &e.arr[e.arrHead]
+	if f.at != now || e.demuxFree > now || e.rxqFree > now || e.fillFree > now || e.cplFree > now {
+		return false
+	}
+	if e.fillHead != len(e.fill) || e.rHead != len(e.pend) || e.fifoHead != len(e.fifo) ||
+		len(e.blocked) != 0 || e.flushing || e.bdWait || len(q.cplBuf) != 0 {
+		return false
+	}
+	frame := f.frame // consumeArr zeroes the arr entry f points into
+	seg, err := ether.ParseView(frame)
+	if err != nil {
+		// Checksum reject: the frame dies in the demux stage with no
+		// charge and no host-visible effect — fully inline.
+		n.rxErrors++
+		n.putFrameBuf(frame)
+		e.consumeArr()
+		e.demuxFree = now + n.params.RxDemux
+		return true
+	}
+	if qid, ok := n.steering[seg.Flow.Tuple()]; ok && qid != q.cfg.QID {
+		n.drops++
+		n.putFrameBuf(frame)
+		e.consumeArr()
+		e.demuxFree = now + n.params.RxDemux
+		return true
+	}
+	fab := n.fab
+	if !fab.FlowReactive() || fab.PortCount() != 2 || !fab.FlowQuiet() ||
+		fab.FlowDegradeArmed() || !fab.FlowClocksIdle() {
+		return false
+	}
+	for _, o := range n.queueList {
+		if !o.txIdle || o.sendFetched != o.sendTail {
+			return false
+		}
+	}
+	needFetch := q.bdLen() == 0
+	if needFetch && q.recvTail == q.recvHead {
+		return false // starved; the general machinery owns bdWait
+	}
+	if q.cfg.RecvCpl.HasWriteHook() {
+		return false // entry writes are deferred to the final apply
+	}
+
+	// Dry-run the cascade with idle clocks to bound-check every issue
+	// before booking anything.
+	mm := fab.Mem()
+	demuxDone := now + n.params.RxDemux
+	burstEnd := demuxDone + n.params.RxOverhead
+	fillAt := burstEnd
+	batch := 0
+	var bdAddr mem.Addr
+	if needFetch {
+		avail := int(q.recvTail - q.recvHead)
+		batch = avail
+		if batch > rxBatch {
+			batch = rxBatch
+		}
+		slot := q.recvHead % uint64(q.cfg.RecvEntries)
+		if room := q.cfg.RecvEntries - int(slot); batch > room {
+			batch = room
+		}
+		bdAddr = q.cfg.RecvRing.Base + mem.Addr(slot*RecvBDSize)
+		fillAt = burstEnd + fab.FlowXferTime(batch*RecvBDSize) + n.params.BDFetch
+	}
+	bound := now + n.params.PropDelay + n.params.RxDemux + n.params.RxOverhead
+	var bd RecvBD
+	if needFetch {
+		raw := mm.View(bdAddr, RecvBDSize) // stability contract: posted BDs
+		var derr error
+		bd, derr = DecodeRecvBD(raw)
+		if derr != nil {
+			panic(derr)
+		}
+	} else {
+		bd = q.bdCache[q.bdHead]
+	}
+	drop := int(bd.Len) < len(frame)
+	lastIssue := fillAt
+	if !drop {
+		rdy := fillAt + fab.FlowXferTime(len(frame))
+		// Flush extents: one completion entry (possibly wrapping is
+		// impossible for k=1) plus the status counter.
+		d := rdy + fab.FlowXferTime(RecvCplSize)
+		lastIssue = d // status extent issues at the entry's completion
+		if dreg, _, rerr := mm.Resolve(bd.Addr); rerr != nil || dreg.HasWriteHook() {
+			return false // payload write is deferred to the final apply
+		}
+	}
+	if lastIssue >= bound {
+		return false
+	}
+
+	// Book it.
+	e.consumeArr()
+	e.demuxFree = demuxDone
+	if needFetch {
+		done := fab.FlowChargeAt(n.port, q.rxStage, bdAddr, batch*RecvBDSize, burstEnd)
+		mm.Copy(q.rxStage, bdAddr, batch*RecvBDSize)
+		if q.bdHead == len(q.bdCache) {
+			q.bdCache = q.bdCache[:0]
+			q.bdHead = 0
+		}
+		raw := mm.View(q.rxStage, batch*RecvBDSize)
+		for i := 0; i < batch; i++ {
+			dbd, derr := DecodeRecvBD(raw[i*RecvBDSize:])
+			if derr != nil {
+				panic(derr)
+			}
+			q.bdCache = append(q.bdCache, dbd)
+		}
+		q.recvHead += uint64(batch)
+		e.fillFree = done + n.params.BDFetch
+	}
+	q.bdHead++
+	e.rxqFree, e.rxqSched = fillAt, fillAt
+	if drop {
+		n.drops++
+		n.putFrameBuf(frame)
+		return true
+	}
+	cpl := RecvCpl{BDIndex: uint32(q.cplIssued % uint64(q.cfg.RecvEntries)),
+		Seq: seg.Seq, Flags: seg.Flags, Valid: 1,
+		HdrLen: uint16(ether.HeadersLen), PayLen: uint16(len(seg.Payload))}
+	q.cplIssued++
+	rdy := fab.FlowChargeAt(n.port, bd.Addr, q.rxStage, len(frame), fillAt)
+
+	// Encode the flush staging exactly as startFlush would.
+	stage, stageOff := mm.MustResolve(q.cplStage)
+	enc := cpl.Encode()
+	stage.WriteAt(stageOff, enc[:])
+	q.recvCplN = q.cplFirst + 1
+	var cnt [8]byte
+	putLE64(cnt[:], q.recvCplN)
+	stage.WriteAt(stageOff+uint64(RecvCplSize), cnt[:])
+	slot := int(q.cplFirst % uint64(q.cfg.RecvEntries))
+	exts := ringExtents(q.cplExts[:0], q.cfg.RecvCpl.Base, slot, 1, q.cfg.RecvEntries, RecvCplSize)
+	exts = append(exts, mem.Extent{Addr: q.cfg.RecvStatus, Len: 8})
+	q.cplExts = exts
+	q.cplFirst = q.recvCplN
+
+	done := rdy
+	src := q.cplStage
+	for _, ext := range exts {
+		done = fab.FlowChargeAt(n.port, ext.Addr, src, ext.Len, done)
+		src += mem.Addr(ext.Len)
+	}
+	e.cplFree = done
+	e.plan.active = true
+	e.plan.frame = frame
+	e.plan.dst = bd.Addr
+	e.plan.pay = len(seg.Payload)
+	e.plan.exts = append(e.plan.exts[:0], exts...)
+	n.env.Schedule(done-now, e.planFn)
+	return true
+}
+
+func (e *rxEngine) consumeArr() {
+	e.arr[e.arrHead] = engFrame{}
+	e.arrHead++
+	if e.arrHead == len(e.arr) {
+		e.arr = e.arr[:0]
+		e.arrHead = 0
+	}
+}
+
+// applyPlan lands every deferred effect of a booked cascade at the
+// status write's completion instant: the payload buffer, the
+// completion entry, and — last, so a hook-woken consumer sees the
+// entry — the status counter, then the interrupt check.
+func (e *rxEngine) applyPlan() {
+	n, q := e.n, e.q
+	p := &e.plan
+	mm := n.fab.Mem()
+	mm.Write(p.dst, p.frame)
+	n.putFrameBuf(p.frame)
+	n.rxFrames++
+	n.rxPayload += int64(p.pay)
+	n.RxPerQueue[q.cfg.QID]++
+	p.active = false
+	p.frame = nil
+	src := q.cplStage
+	for _, ext := range p.exts {
+		mm.Copy(ext.Addr, src, ext.Len)
+		src += mem.Addr(ext.Len)
+	}
+	n.maybeIRQ(q)
+	e.advance()
+}
+
+func maxT(a, b sim.Time) sim.Time {
+	if a >= b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,591 @@
+package nic
+
+// Crossover equivalence suite for the flow-level wire fast path
+// (DESIGN.md §13). Every mix here is driven twice — once per frame,
+// once with the flow fast path on — and the complete host-visible
+// timeline (the instant, buffer address, completion entry, and payload
+// checksum of every delivered frame, plus final device counters) must
+// be byte-identical. The mixes cover the crossover seams: ramp-up,
+// short-message bypass, duplex bulk, multiple concurrent flows,
+// mid-stream faults (corruption, stuck descriptors, link degrade),
+// buffer starvation, and randomized traffic under pinned seeds.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/fault"
+	"dcsctrl/internal/mem"
+	"dcsctrl/internal/pcie"
+	"dcsctrl/internal/sim"
+)
+
+// testSeed pins every randomized mix in this suite. The CI seed-matrix
+// step overrides it via DCS_FIDELITY_SEED to sweep the equivalence
+// property over additional fault and traffic schedules; any value must
+// hold — the suite asserts a universal property, not a golden output.
+var testSeed = func() int64 {
+	if s := os.Getenv("DCS_FIDELITY_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			panic("bad DCS_FIDELITY_SEED: " + s)
+		}
+		return v
+	}
+	return 0x5EEDED
+}()
+
+// mixOp is one scripted sender action: wait gap, then send one LSO job
+// of size bytes on flow fl.
+type mixOp struct {
+	node int // 0 = a, 1 = b
+	fl   int // flow index within the node
+	gap  sim.Time
+	size int
+}
+
+type mixConfig struct {
+	ops       []mixOp
+	flows     int // flows per node
+	bufs      int // receive buffers posted per node (starvation < ops)
+	profile   fault.Profile
+	faultSeed uint64
+}
+
+// fidelityNode wraps the test node with scripted-traffic state.
+type fidelityNode struct {
+	*node
+	bufBase mem.Addr
+	free    []mem.Addr // repost pool, consumed and refilled in order
+	fills   []Filled
+	txSeq   []uint32
+	lines   *[]string
+	label   string
+}
+
+func (fn *fidelityNode) post(addrs []mem.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	bds := make([]RecvBD, 0, len(addrs))
+	for _, a := range addrs {
+		bds = append(bds, RecvBD{Addr: a, Len: 2048})
+	}
+	if err := fn.recv.Post(bds); err != nil {
+		panic(err)
+	}
+	fn.recv.RingDoorbell()
+}
+
+// runMix drives one scripted mix under the given fidelity and returns
+// the full host-visible fingerprint.
+func runMix(fid sim.WireFidelity, mix mixConfig) (string, sim.Stats) {
+	env := sim.NewEnv()
+	env.SetWireFidelity(fid)
+	nodes := make([]*fidelityNode, 2)
+	var lines []string
+	for i, name := range []string{"a", "b"} {
+		inj := fault.NewInjector(mix.faultSeed, mix.profile)
+		n := newFaultyNode(env, name, inj)
+		fn := &fidelityNode{node: n, lines: &lines, label: name}
+		fn.bufBase = n.dram.Alloc(uint64(mix.bufs)*2048, 4096)
+		for k := 0; k < mix.bufs; k++ {
+			fn.free = append(fn.free, fn.bufBase+mem.Addr(k*2048))
+		}
+		fn.txSeq = make([]uint32, mix.flows)
+		nodes[i] = fn
+	}
+	Connect(nodes[0].nic, nodes[1].nic)
+	for _, fn := range nodes {
+		fn.post(fn.free)
+		fn.free = fn.free[:0]
+		fn := fn
+		_, off := fn.mm.MustResolve(fn.cfg.RecvStatus)
+		fn.statusRegion().SetWriteHook(func(o uint64, k int) {
+			if o != off {
+				return
+			}
+			fn.fills = fn.recv.AppendPoll(fn.fills[:0])
+			for _, f := range fn.fills {
+				raw := fn.mm.View(f.Addr, int(f.Cpl.HdrLen)+int(f.Cpl.PayLen))
+				*fn.lines = append(*fn.lines, fmt.Sprintf(
+					"t=%d %s addr=%x idx=%d seq=%d flags=%d hl=%d pl=%d crc=%08x",
+					env.Now(), fn.label, uint64(f.Addr), f.Cpl.BDIndex, f.Cpl.Seq,
+					f.Cpl.Flags, f.Cpl.HdrLen, f.Cpl.PayLen, crc32.ChecksumIEEE(raw)))
+				fn.free = append(fn.free, f.Addr)
+			}
+			if len(fn.fills) > 0 {
+				fn.post(fn.free)
+				fn.free = fn.free[:0]
+			}
+		})
+	}
+	// One sender proc per node replays its schedule in order.
+	for i := range nodes {
+		i := i
+		fn := nodes[i]
+		env.Spawn(fn.label+"-driver", func(p *sim.Proc) {
+			for _, op := range mix.ops {
+				if op.node != i {
+					continue
+				}
+				if op.gap > 0 {
+					p.Sleep(op.gap)
+				}
+				fl := mixFlow(i, op.fl)
+				payload := make([]byte, op.size)
+				for j := range payload {
+					payload[j] = byte(j ^ op.size ^ int(fn.txSeq[op.fl]))
+				}
+				sendJob(fn.node, fl, fn.txSeq[op.fl], payload, op.size > int(ether.MSS))
+				fn.txSeq[op.fl] += uint32(op.size)
+			}
+		})
+	}
+	env.Run(-1)
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for _, fn := range nodes {
+		tx, rx, txp, rxp, drops, errs := fn.nic.Stats()
+		replays, refetches := fn.nic.RecoveryStats()
+		fmt.Fprintf(&sb, "%s tx=%d rx=%d txp=%d rxp=%d drops=%d errs=%d replays=%d refetches=%d\n",
+			fn.label, tx, rx, txp, rxp, drops, errs, replays, refetches)
+	}
+	fmt.Fprintf(&sb, "end=%d\n", env.Now())
+	return sb.String(), env.Stats()
+}
+
+// statusRegion resolves the node's status region for hook installation.
+func (fn *fidelityNode) statusRegion() *mem.Region {
+	r, _ := fn.mm.MustResolve(fn.cfg.RecvStatus)
+	return r
+}
+
+// newFaultyNode is newNode with a custom fault injector on the NIC
+// (the PCIe fabric keeps the default none profile; pcie-level faults
+// get their own mixes via params). The fabric stays event-driven
+// (non-exclusive): scripted senders overlap transmit gathers with
+// receive payload DMAs, and overtaking at the switch core is exactly
+// what the scalar flow clocks cannot replay (DESIGN.md §13) — these
+// mixes gate the fabric-independent wire-level claim crossover. The
+// analytic fabric + receive engine are gated by the reactive echo
+// mixes below, the only rig shape where they are legal.
+func newFaultyNode(env *sim.Env, name string, inj *fault.Injector) *node {
+	mm := mem.NewMap()
+	fab := pcie.NewFabric(env, mm, pcie.DefaultParams())
+	hostPort := fab.AddPort(name + "-root")
+	dram := mm.AddRegion(name+"-dram", mem.HostDRAM, 64<<20, true)
+	fab.Attach(hostPort, dram)
+	params := DefaultParams()
+	params.Faults = inj
+	n := NewNIC(env, fab, name+"-nic", params)
+	sendRing := mm.AddRegion(name+"-sring", mem.HostDRAM, 1024*SendBDSize, true)
+	recvRing := mm.AddRegion(name+"-rring", mem.HostDRAM, 1024*RecvBDSize, true)
+	recvCpl := mm.AddRegion(name+"-rcpl", mem.HostDRAM, 1024*RecvCplSize, true)
+	status := mm.AddRegion(name+"-status", mem.HostDRAM, 64, true)
+	for _, r := range []*mem.Region{sendRing, recvRing, recvCpl, status} {
+		fab.Attach(hostPort, r)
+	}
+	cfg := QueueConfig{
+		QID: 0, SendRing: sendRing, SendEntries: 1024,
+		SendStatus: status.Base,
+		RecvRing:   recvRing, RecvEntries: 1024,
+		RecvCpl: recvCpl, RecvStatus: status.Base + 8,
+		MSIVector: -1,
+	}
+	n.ConfigureQueue(cfg)
+	return &node{
+		mm: mm, fab: fab, hostPort: hostPort, dram: dram, nic: n, cfg: cfg,
+		send: NewSendRing(fab, n, cfg),
+		recv: NewRecvRing(fab, n, cfg),
+	}
+}
+
+// mixFlow returns flow fl of node i's transmit direction.
+func mixFlow(i, fl int) ether.Flow {
+	f := ether.Flow{
+		SrcMAC: ether.MAC{2, 0, 0, 0, 0, byte(1 + i)},
+		DstMAC: ether.MAC{2, 0, 0, 0, 0, byte(2 - i)},
+		SrcIP:  ether.IP{10, 0, 0, byte(1 + i)}, DstIP: ether.IP{10, 0, 0, byte(2 - i)},
+		SrcPort: uint16(5000 + 13*fl), DstPort: 80,
+	}
+	if i == 1 {
+		f.SrcPort, f.DstPort = uint16(7000+17*fl), 81
+	}
+	return f
+}
+
+// assertEquivalent runs the mix under both fidelities and fails on the
+// first fingerprint divergence.
+func assertEquivalent(t *testing.T, name string, mix mixConfig) (frame, flow sim.Stats) {
+	t.Helper()
+	frameFP, frameStats := runMix(sim.WireFrame, mix)
+	flowFP, flowStats := runMix(sim.WireFlow, mix)
+	if frameFP != flowFP {
+		fl := strings.Split(frameFP, "\n")
+		gl := strings.Split(flowFP, "\n")
+		for i := 0; i < len(fl) || i < len(gl); i++ {
+			a, b := "<eof>", "<eof>"
+			if i < len(fl) {
+				a = fl[i]
+			}
+			if i < len(gl) {
+				b = gl[i]
+			}
+			if a != b {
+				t.Fatalf("%s: fingerprints diverge at line %d:\n  frame: %s\n  flow:  %s",
+					name, i, a, b)
+			}
+		}
+		t.Fatalf("%s: fingerprints differ", name)
+	}
+	return frameStats, flowStats
+}
+
+func bulkMix(ops []mixOp, flows, bufs int) mixConfig {
+	return mixConfig{ops: ops, flows: flows, bufs: bufs, profile: fault.None(), faultSeed: 1}
+}
+
+func TestFidelityEquivalenceBulkDuplex(t *testing.T) {
+	// Steady duplex bulk: both nodes stream full-size LSO jobs with no
+	// gaps — the claim path's home turf.
+	var ops []mixOp
+	for k := 0; k < 12; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10})
+		ops = append(ops, mixOp{node: 1, fl: 0, size: 48 << 10})
+	}
+	_, flowStats := assertEquivalent(t, "bulk-duplex", bulkMix(ops, 1, 256))
+	if flowStats.Segments == 0 {
+		t.Fatal("knob not live: bulk duplex emitted no flow segments")
+	}
+}
+
+func TestFidelityEquivalenceShortMessages(t *testing.T) {
+	// Short-message bypass: everything below the bulk threshold stays
+	// per-frame in both fidelities.
+	var ops []mixOp
+	for k := 0; k < 30; k++ {
+		ops = append(ops, mixOp{node: k % 2, fl: 0, size: 64 + 32*k, gap: sim.Time(k%3) * 5 * sim.Microsecond})
+	}
+	assertEquivalent(t, "short", bulkMix(ops, 1, 128))
+}
+
+func TestFidelityEquivalenceMultiFlow(t *testing.T) {
+	// Concurrent flows per direction with mixed sizes: per-flow state
+	// machines ramp independently; interleaving must stay exact.
+	var ops []mixOp
+	for k := 0; k < 10; k++ {
+		ops = append(ops, mixOp{node: 0, fl: k % 3, size: 32 << 10})
+		ops = append(ops, mixOp{node: 1, fl: k % 2, size: 200, gap: sim.Time(k%2) * 2 * sim.Microsecond})
+		ops = append(ops, mixOp{node: 0, fl: (k + 1) % 3, size: 1460})
+	}
+	assertEquivalent(t, "multi-flow", bulkMix(ops, 3, 256))
+}
+
+func TestFidelityEquivalenceStarvation(t *testing.T) {
+	// Fewer receive buffers than in-flight frames: the fast path must
+	// starve, recover, and retire in exactly the per-frame order.
+	var ops []mixOp
+	for k := 0; k < 8; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10})
+	}
+	assertEquivalent(t, "starve", bulkMix(ops, 1, 24))
+}
+
+func faultMix(ops []mixOp, flows, bufs int, rules map[fault.Site]fault.Rule) mixConfig {
+	return mixConfig{ops: ops, flows: flows, bufs: bufs,
+		profile: fault.Profile{Name: "mix", Rules: rules}, faultSeed: uint64(testSeed)}
+}
+
+func TestFidelityEquivalenceCorruptionBurst(t *testing.T) {
+	// Deterministic corruption of the first frames: the flow machine
+	// must demote, replay per-frame, and re-promote after the limit —
+	// with the recovery timeline identical in both fidelities. The
+	// trailing jobs sit behind a drain gap: crossover back to segments
+	// additionally needs a quiescent wire (no real frame between FIFO
+	// insertion and wire exit), which a gapless stream never offers.
+	var ops []mixOp
+	for k := 0; k < 10; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10})
+	}
+	for k := 0; k < 3; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10, gap: 500 * sim.Microsecond})
+	}
+	_, flowStats := assertEquivalent(t, "corrupt-first", faultMix(ops, 1, 256,
+		map[fault.Site]fault.Rule{fault.NICCorruptFrame: {Prob: 1, Limit: 5}}))
+	if flowStats.Segments == 0 {
+		t.Fatal("flow path never re-promoted after the fault limit")
+	}
+}
+
+// TestFidelityFaultSplitBoundary pins the mid-stream fault split: with
+// NICCorruptFrame limited to 5 hits, every hit must be drawn on the
+// per-frame replay path (a claim never carries a frame that might be
+// corrupted — the segment splits exactly at the fault's frame
+// boundary), and the post-fault tail must still be claimed.
+func TestFidelityFaultSplitBoundary(t *testing.T) {
+	var ops []mixOp
+	for k := 0; k < 6; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10})
+	}
+	for k := 0; k < 3; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10, gap: 500 * sim.Microsecond})
+	}
+	mix := faultMix(ops, 1, 256,
+		map[fault.Site]fault.Rule{fault.NICCorruptFrame: {Prob: 1, Limit: 5}})
+	fp, stats := runMix(sim.WireFlow, mix)
+	if !strings.Contains(fp, "replays=5") {
+		t.Fatalf("flow run did not replay exactly the limited hits:\n%s", fp)
+	}
+	if stats.Segments == 0 || stats.SegFrames == 0 {
+		t.Fatalf("flow run claimed nothing after the fault boundary: %+v", stats)
+	}
+}
+
+func TestFidelityEquivalenceRandomCorruption(t *testing.T) {
+	// Probabilistic corruption keeps the site armed for the whole run:
+	// the fast path must stay demoted and the RNG draw sequence (and
+	// with it every replay instant) must match exactly.
+	var ops []mixOp
+	for k := 0; k < 8; k++ {
+		ops = append(ops, mixOp{node: k % 2, fl: 0, size: 32 << 10})
+	}
+	assertEquivalent(t, "corrupt-rand", faultMix(ops, 1, 256,
+		map[fault.Site]fault.Rule{fault.NICCorruptFrame: {Prob: 0.1}}))
+}
+
+func TestFidelityEquivalenceStuckBDs(t *testing.T) {
+	// Stuck descriptor fetches: the analytic fetch draws the site at
+	// the identical post-fetch instant, so recovery stalls line up.
+	var ops []mixOp
+	for k := 0; k < 10; k++ {
+		ops = append(ops, mixOp{node: 0, fl: 0, size: 64 << 10})
+		ops = append(ops, mixOp{node: 1, fl: 0, size: 16 << 10})
+	}
+	assertEquivalent(t, "stuck-bd", faultMix(ops, 1, 256,
+		map[fault.Site]fault.Rule{fault.NICStuckBD: {Prob: 0.2}}))
+}
+
+// echoConfig scripts a reactive request/response rig: node a sends a
+// request, node b answers each fully received request with a reply,
+// and a issues the next request only after the full reply lands. Every
+// initiator is completion-driven, so the rig legally declares
+// SetFlowReactive on top of SetFlowExclusive — the one fabric shape
+// where analytic DMA, the receive engine, and future-issue plan
+// bookings are all exact (DESIGN.md §13).
+type echoConfig struct {
+	rounds    int
+	reqSize   int
+	repSize   int
+	profile   fault.Profile
+	faultSeed uint64
+}
+
+// runEcho drives one reactive echo exchange under the given fidelity
+// and returns the full host-visible fingerprint.
+func runEcho(fid sim.WireFidelity, cfg echoConfig) (string, sim.Stats) {
+	env := sim.NewEnv()
+	env.SetWireFidelity(fid)
+	nodes := make([]*fidelityNode, 2)
+	var lines []string
+	for i, name := range []string{"a", "b"} {
+		inj := fault.NewInjector(cfg.faultSeed, cfg.profile)
+		n := newFaultyNode(env, name, inj)
+		n.fab.SetFlowExclusive()
+		n.fab.SetFlowReactive()
+		fn := &fidelityNode{node: n, lines: &lines, label: name}
+		fn.bufBase = n.dram.Alloc(64*2048, 4096)
+		for k := 0; k < 64; k++ {
+			fn.free = append(fn.free, fn.bufBase+mem.Addr(k*2048))
+		}
+		fn.txSeq = make([]uint32, 1)
+		nodes[i] = fn
+	}
+	Connect(nodes[0].nic, nodes[1].nic)
+	send := func(i, size int) {
+		fn := nodes[i]
+		payload := make([]byte, size)
+		for j := range payload {
+			payload[j] = byte(j ^ size ^ int(fn.txSeq[0]))
+		}
+		sendJob(fn.node, mixFlow(i, 0), fn.txSeq[0], payload, size > int(ether.MSS))
+		fn.txSeq[0] += uint32(size)
+	}
+	rounds := 0
+	var gotA, gotB int // payload bytes fully delivered to each node
+	for i := range nodes {
+		i := i
+		fn := nodes[i]
+		fn.post(fn.free)
+		fn.free = fn.free[:0]
+		_, off := fn.mm.MustResolve(fn.cfg.RecvStatus)
+		fn.statusRegion().SetWriteHook(func(o uint64, k int) {
+			if o != off {
+				return
+			}
+			fn.fills = fn.recv.AppendPoll(fn.fills[:0])
+			for _, f := range fn.fills {
+				raw := fn.mm.View(f.Addr, int(f.Cpl.HdrLen)+int(f.Cpl.PayLen))
+				*fn.lines = append(*fn.lines, fmt.Sprintf(
+					"t=%d %s addr=%x idx=%d seq=%d flags=%d hl=%d pl=%d crc=%08x",
+					env.Now(), fn.label, uint64(f.Addr), f.Cpl.BDIndex, f.Cpl.Seq,
+					f.Cpl.Flags, f.Cpl.HdrLen, f.Cpl.PayLen, crc32.ChecksumIEEE(raw)))
+				fn.free = append(fn.free, f.Addr)
+				if i == 1 {
+					gotB += int(f.Cpl.PayLen)
+				} else {
+					gotA += int(f.Cpl.PayLen)
+				}
+			}
+			if len(fn.fills) > 0 {
+				fn.post(fn.free)
+				fn.free = fn.free[:0]
+			}
+			// Completion-driven sends: b answers each fully received
+			// request; a pipelines the next request after the full reply.
+			if i == 1 {
+				for gotB >= cfg.reqSize*(rounds+1) && rounds < cfg.rounds {
+					rounds++
+					send(1, cfg.repSize)
+				}
+			} else if gotA >= cfg.repSize*rounds && rounds < cfg.rounds && gotA > 0 {
+				send(0, cfg.reqSize)
+			}
+		})
+	}
+	env.Spawn("kickoff", func(p *sim.Proc) { send(0, cfg.reqSize) })
+	env.Run(-1)
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	for _, fn := range nodes {
+		tx, rx, txp, rxp, drops, errs := fn.nic.Stats()
+		replays, refetches := fn.nic.RecoveryStats()
+		fmt.Fprintf(&sb, "%s tx=%d rx=%d txp=%d rxp=%d drops=%d errs=%d replays=%d refetches=%d\n",
+			fn.label, tx, rx, txp, rxp, drops, errs, replays, refetches)
+	}
+	fmt.Fprintf(&sb, "end=%d\n", env.Now())
+	return sb.String(), env.Stats()
+}
+
+// assertEchoEquivalent runs the echo under both fidelities and fails
+// on the first fingerprint divergence.
+func assertEchoEquivalent(t *testing.T, name string, cfg echoConfig) (frame, flow sim.Stats) {
+	t.Helper()
+	frameFP, frameStats := runEcho(sim.WireFrame, cfg)
+	flowFP, flowStats := runEcho(sim.WireFlow, cfg)
+	if frameFP != flowFP {
+		fl := strings.Split(frameFP, "\n")
+		gl := strings.Split(flowFP, "\n")
+		for i := 0; i < len(fl) || i < len(gl); i++ {
+			a, b := "<eof>", "<eof>"
+			if i < len(fl) {
+				a = fl[i]
+			}
+			if i < len(gl) {
+				b = gl[i]
+			}
+			if a != b {
+				t.Fatalf("%s: fingerprints diverge at line %d:\n  frame: %s\n  flow:  %s",
+					name, i, a, b)
+			}
+		}
+		t.Fatalf("%s: fingerprints differ", name)
+	}
+	return frameStats, flowStats
+}
+
+func TestFidelityEquivalenceReactiveEcho(t *testing.T) {
+	// Single-frame request/response on a reactive analytic fabric: the
+	// solo receive plan's home turf. The flow run must both match the
+	// per-frame timeline exactly and actually take the fast path.
+	frameStats, flowStats := assertEchoEquivalent(t, "echo", echoConfig{
+		rounds: 40, reqSize: 1024, repSize: 1024,
+		profile: fault.None(), faultSeed: 1,
+	})
+	if flowStats.Events >= frameStats.Events {
+		t.Fatalf("knob not live: flow run used %d events, frame run %d",
+			flowStats.Events, frameStats.Events)
+	}
+}
+
+func TestFidelityEquivalenceReactiveBulkEcho(t *testing.T) {
+	// Small request, bulk LSO reply: claims, engine burst machinery,
+	// and gather plans all engage within one reactive exchange.
+	frameStats, flowStats := assertEchoEquivalent(t, "bulk-echo", echoConfig{
+		rounds: 12, reqSize: 512, repSize: 32 << 10,
+		profile: fault.None(), faultSeed: 1,
+	})
+	if flowStats.Segments == 0 {
+		t.Fatal("knob not live: bulk echo emitted no flow segments")
+	}
+	if flowStats.Events >= frameStats.Events {
+		t.Fatalf("knob not live: flow run used %d events, frame run %d",
+			flowStats.Events, frameStats.Events)
+	}
+}
+
+func TestFidelityEquivalenceReactiveFaultyEcho(t *testing.T) {
+	// Faults on the reactive rig: corruption demotes the reply flow to
+	// per-frame replay through the engine; stuck descriptor fetches
+	// stall the analytic send path at the per-frame instants.
+	assertEchoEquivalent(t, "echo-corrupt", echoConfig{
+		rounds: 20, reqSize: 1024, repSize: 1024,
+		profile: fault.Profile{Name: "ec", Rules: map[fault.Site]fault.Rule{
+			fault.NICCorruptFrame: {Prob: 0.2},
+		}},
+		faultSeed: uint64(testSeed),
+	})
+	assertEchoEquivalent(t, "echo-stuck", echoConfig{
+		rounds: 12, reqSize: 512, repSize: 32 << 10,
+		profile: fault.Profile{Name: "es", Rules: map[fault.Site]fault.Rule{
+			fault.NICStuckBD: {Prob: 0.2},
+		}},
+		faultSeed: uint64(testSeed),
+	})
+}
+
+func TestFidelityEquivalenceRandomMixes(t *testing.T) {
+	// Randomized traffic under pinned seeds: sizes, gaps, flows, and
+	// fault schedules all drawn from testSeed-derived streams.
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(testSeed + int64(trial)))
+		var ops []mixOp
+		nops := 20 + rng.Intn(20)
+		for k := 0; k < nops; k++ {
+			op := mixOp{
+				node: rng.Intn(2),
+				fl:   rng.Intn(2),
+				gap:  sim.Time(rng.Intn(4)) * sim.Microsecond,
+			}
+			switch rng.Intn(4) {
+			case 0:
+				op.size = 1 + rng.Intn(255) // short
+			case 1:
+				op.size = 256 + rng.Intn(1461) // one full-ish frame
+			default:
+				op.size = 4 << (10 + rng.Intn(5)) // bulk LSO 4K..64K
+			}
+			ops = append(ops, op)
+		}
+		rules := map[fault.Site]fault.Rule{}
+		if trial%2 == 1 {
+			rules[fault.NICCorruptFrame] = fault.Rule{Prob: 1, Limit: rng.Intn(4)}
+			rules[fault.NICStuckBD] = fault.Rule{Prob: 0.1}
+		}
+		mix := faultMix(ops, 2, 256, rules)
+		mix.faultSeed = uint64(testSeed + int64(trial))
+		assertEquivalent(t, fmt.Sprintf("rand-%d", trial), mix)
+	}
+}

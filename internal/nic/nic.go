@@ -125,6 +125,11 @@ type nicQueue struct {
 	irqQueued bool
 	irqFn     func()
 
+	// txIdle is true while txLoop is parked on sendKick with no staged
+	// work it could progress without a doorbell — part of the transmit-
+	// quiescence test gating analytic multi-charge plans (DESIGN.md §13).
+	txIdle bool
+
 	// Reused per-packet LSO segment scratch: one packet is in flight
 	// per queue at a time, so a single slice makes the transmit path
 	// allocation-free in steady state.
@@ -168,6 +173,24 @@ type NIC struct {
 	// are LIFO lists driven only from the simulated timeline.
 	frameFree [][]byte
 	fdFree    []*frameDelivery
+
+	// Flow-fidelity transmit state (flow.go): per-connection phase
+	// machines deciding segment eligibility, the analytic wire clock,
+	// the pending-claim exit ring bounding virtual FIFO occupancy, and
+	// the count of real (per-frame) frames between txFIFO.Put and wire
+	// exit — claims may only form while that count is zero, so the
+	// analytic and per-frame schedules never interleave on the wire.
+	flows        map[ether.Tuple]*ether.FlowState
+	wireFree     sim.Time
+	claimExits   []sim.Time
+	claimHead    int
+	realInFlight int
+	segFrames    int64 // frames accounted through flow segments
+	wbFree       []*wireBatch
+
+	// eng is the analytic receive engine, created lazily on flow-
+	// exclusive fabrics (flow.go).
+	eng *rxEngine
 
 	// RxPerQueue counts delivered frames per queue (diagnostics).
 	RxPerQueue map[uint16]int64
@@ -232,6 +255,7 @@ func NewNIC(env *sim.Env, fab *pcie.Fabric, name string, params Params) *NIC {
 		params:     params,
 		queues:     map[uint16]*nicQueue{},
 		steering:   map[ether.Tuple]uint16{},
+		flows:      map[ether.Tuple]*ether.FlowState{},
 		RxPerQueue: map[uint16]int64{},
 	}
 	n.port = fab.AddPort(name)
@@ -273,6 +297,13 @@ func (n *NIC) txWireLoop(p *sim.Proc) {
 	for {
 		f := n.txFIFO.Get(p)
 		n.txSpace.Broadcast()
+		// Queue behind analytic flow segments exactly as the FIFO would
+		// have queued behind their per-frame expansion: claims book the
+		// wire clock without occupying txBW (flow.go), so a real frame
+		// waits out the booked window first.
+		if w := n.wireFree; w > n.env.Now() {
+			p.Sleep(w - n.env.Now())
+		}
 		for attempt := 0; ; attempt++ {
 			n.txBW.Transfer(p, f.wireLen)
 			n.txFrames++
@@ -286,16 +317,28 @@ func (n *NIC) txWireLoop(p *sim.Proc) {
 				n.txReplays++
 				bad := append([]byte(nil), f.frame...)
 				bad[len(bad)-1] ^= 0xFF // breaks the TCP checksum
-				n.scheduleDelivery(peer.rxQ, bad)
+				n.deliverFrame(peer, bad)
 				p.Sleep(2 * n.params.PropDelay) // NAK round trip
 				continue
 			}
 			n.txPayload += int64(f.payLen)
-			n.scheduleDelivery(peer.rxQ, f.frame)
+			n.deliverFrame(peer, f.frame)
 			break
 		}
+		n.wireFree = n.env.Now()
+		n.realInFlight--
 		n.env.CountIO(1) // one wire frame left the device
 	}
+}
+
+// deliverFrame hands one wire frame to the peer after propagation,
+// through the peer's analytic receive engine when it has one.
+func (n *NIC) deliverFrame(peer *NIC, frame []byte) {
+	if e := peer.engine(); e != nil {
+		e.scheduleArrival(frame, n.env.Now()+n.params.PropDelay)
+		return
+	}
+	n.scheduleDelivery(peer.rxQ, frame)
 }
 
 // Port returns the NIC's fabric port.
@@ -330,6 +373,12 @@ func (n *NIC) ClearSteering(t ether.Tuple) { delete(n.steering, t) }
 func (n *NIC) ConfigureQueue(cfg QueueConfig) {
 	if _, dup := n.queues[cfg.QID]; dup {
 		panic(fmt.Sprintf("nic: queue %d exists on %s", cfg.QID, n.Name))
+	}
+	if n.eng != nil {
+		// The analytic receive engine replicates a single queue's
+		// pipeline; reconfiguring after it has carried traffic would
+		// strand its state.
+		panic(fmt.Sprintf("nic: %s: cannot add queues after the flow receive engine started", n.Name))
 	}
 	if cfg.SendEntries < 2 || cfg.RecvEntries < 2 {
 		panic("nic: queue too small")
@@ -391,6 +440,9 @@ func (n *NIC) onDoorbell(off uint64, _ int) {
 	case dbRecvTail:
 		q.recvTail = val
 		q.recvKick.Broadcast()
+		if n.eng != nil && n.eng.q == q {
+			n.eng.kick()
+		}
 	case dbRecvArm:
 		q.recvAck = val
 		q.armed = true
@@ -490,9 +542,11 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 	mm := n.fab.Mem()
 	for {
 		for q.sendHead == q.sendTail {
+			q.txIdle = true
 			q.sendKick.Wait(p)
+			q.txIdle = false
 		}
-		n.fetchSendBDs(p, q)
+		n.fetchSendBDsAuto(p, q)
 		sent := false
 		for {
 			// Find one complete chain (through its END flag) in the cache.
@@ -508,13 +562,17 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 			}
 			if end < 0 {
 				if q.sendFetched != q.sendTail {
-					n.fetchSendBDs(p, q)
+					n.fetchSendBDsAuto(p, q)
 					continue
 				}
 				if !sent {
-					// Incomplete chain posted; wait for the rest.
+					// Incomplete chain posted; wait for the rest. Nothing
+					// here can progress without a doorbell, so the queue
+					// counts as transmit-quiescent for plan gating.
+					q.txIdle = true
 					q.sendKick.Wait(p)
-					n.fetchSendBDs(p, q)
+					q.txIdle = false
+					n.fetchSendBDsAuto(p, q)
 					continue
 				}
 				break // flush what was consumed; outer loop waits for more
@@ -538,12 +596,16 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 				off += int(bd.Len)
 			}
 			q.sendExts = exts
-			n.fab.MustDMAVec(p, n.port, q.txStage, exts, true)
 			// The staging view is stable for the whole transmit: only this
 			// queue's txLoop writes q.txStage, and Marshal copies each
 			// segment before it reaches the FIFO.
-			raw := mm.View(q.txStage, off)
-			n.transmit(p, q, chain[0], raw)
+			if n.fab.FlowMode() {
+				n.flowGatherTransmit(p, q, chain[0], exts, off)
+			} else {
+				n.fab.MustDMAVec(p, n.port, q.txStage, exts, true)
+				raw := mm.View(q.txStage, off)
+				n.transmit(p, q, chain[0], raw, 0)
+			}
 			q.sendHead += uint64(len(chain))
 
 			// BD completion: buffers were fully fetched into the FIFO, so
@@ -562,9 +624,13 @@ func (n *NIC) txLoop(p *sim.Proc, q *nicQueue) {
 	}
 }
 
-// transmit parses the header template, segments, and puts real frames
-// on the wire.
-func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
+// transmit parses the header template, segments, and puts frames on
+// the wire — per-frame through the FIFO, or as analytic flow-segment
+// claims when the connection's state machine and the mechanical
+// crossover conditions allow (flow.go). pre is wire-gather time still
+// outstanding when a plan called transmit early; it is folded into the
+// first build sleep so the frames land at the per-frame instants.
+func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte, pre sim.Time) {
 	if len(raw) < ether.HeadersLen {
 		n.drops++
 		return
@@ -590,6 +656,8 @@ func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
 			Flags: proto.Flags | ether.FlagACK, Payload: payload})
 	}
 	q.segs = segs
+	claimable := n.observeBurst(proto.Flow.Tuple(), segs)
+	target := n.env.Now() + pre
 	// The LSO segment loop runs in batched events: each pass pays the
 	// pipeline cost for a run of frames in one sleep and marshals the
 	// run back-to-back. Run sizes ramp up exponentially so the wire is
@@ -598,10 +666,18 @@ func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
 	// per-frame model); a full FIFO still parks the process.
 	ramp := 1
 	for i := 0; i < len(segs); {
-		for n.txFIFO.Len() >= txFIFOCap {
-			n.txSpace.Wait(p)
+		// The FIFO budget counts claimed frames still on the analytic
+		// wire (virtualQueued): while claims are draining, space opens
+		// at their booked exits — the instants the wire loop's Get
+		// would broadcast txSpace in the per-frame schedule.
+		for n.txFIFO.Len()+n.virtualQueued() >= txFIFOCap {
+			if x, ok := n.nextClaimExit(); ok {
+				p.Sleep(x - n.env.Now())
+			} else {
+				n.txSpace.Wait(p)
+			}
 		}
-		run := txFIFOCap - n.txFIFO.Len()
+		run := txFIFOCap - n.txFIFO.Len() - n.virtualQueued()
 		if run > ramp {
 			run = ramp
 		}
@@ -610,15 +686,24 @@ func (n *NIC) transmit(p *sim.Proc, q *nicQueue, first SendBD, raw []byte) {
 		}
 		// Per-frame pipeline cost overlaps wire serialization: it is
 		// paid here, in the build stage, not on the wire.
-		p.Sleep(n.params.TxOverhead * sim.Time(run))
-		for j := 0; j < run; j++ {
-			s := &segs[i+j]
-			// Checksum offload happens in MarshalTo; recycled frame
-			// buffers make steady-state transmission allocation-free.
-			frame := s.MarshalTo(n.getFrameBuf())
-			n.txFIFO.Put(outFrame{frame: frame, wireLen: s.WireLen(), payLen: len(s.Payload)})
+		d := n.params.TxOverhead * sim.Time(run)
+		if now := n.env.Now(); now < target {
+			d += target - now
 		}
-		i += run
+		p.Sleep(d)
+		if claimable && n.claimRun(segs[i:i+run]) {
+			i += run
+		} else {
+			for j := 0; j < run; j++ {
+				s := &segs[i+j]
+				// Checksum offload happens in MarshalTo; recycled frame
+				// buffers make steady-state transmission allocation-free.
+				frame := s.MarshalTo(n.getFrameBuf())
+				n.realInFlight++
+				n.txFIFO.Put(outFrame{frame: frame, wireLen: s.WireLen(), payLen: len(s.Payload)})
+			}
+			i += run
+		}
 		if ramp < txFIFOCap {
 			ramp *= 2
 		}

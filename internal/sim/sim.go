@@ -89,10 +89,13 @@ type Env struct {
 	live  int           // processes spawned and not yet terminated
 	steps uint64        // events dispatched (diagnostics)
 
-	fuse       bool   // zero-delay fusion enabled (Chain inline, Yield fast path)
-	fused      uint64 // continuations run inline instead of enqueued
-	ios        uint64 // protocol-level I/O completions (CountIO)
-	chainDepth int    // live inline Chain nesting (runaway-recursion guard)
+	fuse       bool         // zero-delay fusion enabled (Chain inline, Yield fast path)
+	fused      uint64       // continuations run inline instead of enqueued
+	ios        uint64       // protocol-level I/O completions (CountIO)
+	wireFid    WireFidelity // wire model fidelity (per-frame vs flow segments)
+	segments   uint64       // flow segments emitted (CountSegment calls)
+	segFrames  uint64       // frames carried by those segments
+	chainDepth int          // live inline Chain nesting (runaway-recursion guard)
 }
 
 // fusionOff inverts the package default so the zero value means fusion
@@ -108,9 +111,51 @@ func SetDefaultFusion(on bool) { fusionOff.Store(!on) }
 // DefaultFusion reports the current package-wide default.
 func DefaultFusion() bool { return !fusionOff.Load() }
 
+// WireFidelity selects how the wire/NIC stack models steady-state
+// transmit streams: per-frame (every frame is its own wire occupancy,
+// delivery, and receive-pipeline walk) or flow (eligible bursts
+// collapse into analytic flow segments charging the identical times;
+// see DESIGN.md §13). The flow fast path may only fire when the
+// collapsed schedule is provably identical to the per-frame one, so
+// everything observable must match in both modes — the invariant the
+// fidelity-equivalence suite pins.
+type WireFidelity int
+
+const (
+	// WireFrame disables the flow fast path: every frame is simulated
+	// individually.
+	WireFrame WireFidelity = iota
+	// WireFlow permits flow-segment collapsing where the crossover
+	// conditions hold (the default).
+	WireFlow
+)
+
+// wireFrameOnly inverts the package default so the zero value means
+// flow fidelity is ON, mirroring fusionOff above.
+var wireFrameOnly atomic.Bool
+
+// SetDefaultWireFidelity sets the wire fidelity of environments created
+// after this call. It exists for A/B equivalence testing; production
+// code leaves the flow fast path on.
+func SetDefaultWireFidelity(f WireFidelity) { wireFrameOnly.Store(f == WireFrame) }
+
+// DefaultWireFidelity reports the current package-wide default.
+func DefaultWireFidelity() WireFidelity {
+	if wireFrameOnly.Load() {
+		return WireFrame
+	}
+	return WireFlow
+}
+
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yield: make(chan struct{}), horizon: -1, fuse: !fusionOff.Load()}
+	e := &Env{yield: make(chan struct{}), horizon: -1, fuse: !fusionOff.Load()}
+	if wireFrameOnly.Load() {
+		e.wireFid = WireFrame
+	} else {
+		e.wireFid = WireFlow
+	}
+	return e
 }
 
 // SetFusion overrides zero-delay fusion for this environment only.
@@ -118,6 +163,14 @@ func (e *Env) SetFusion(on bool) { e.fuse = on }
 
 // Fusion reports whether zero-delay fusion is enabled for this env.
 func (e *Env) Fusion() bool { return e.fuse }
+
+// SetWireFidelity overrides the wire fidelity for this environment
+// only. Call it before any model activity: devices latch per-flow
+// state against it and flipping it mid-run mixes the two schedules.
+func (e *Env) SetWireFidelity(f WireFidelity) { e.wireFid = f }
+
+// WireFidelity reports the wire fidelity of this environment.
+func (e *Env) WireFidelity() WireFidelity { return e.wireFid }
 
 // Now returns the current simulation time.
 func (e *Env) Now() Time { return e.now }
@@ -276,11 +329,22 @@ func (e *Env) Chain(fn func()) {
 // frames, HDC command completions) for events-per-I/O accounting.
 func (e *Env) CountIO(n int) { e.ios += uint64(n) }
 
+// CountSegment records one flow segment collapsing frames individual
+// frames into a single analytic wire event (see WireFidelity). Device
+// models call it when a fast-path claim is emitted; the equivalence
+// suite reads it back to prove the knob is not dead.
+func (e *Env) CountSegment(frames int) {
+	e.segments++
+	e.segFrames += uint64(frames)
+}
+
 // Stats is a snapshot of per-run kernel dispatch counters.
 type Stats struct {
-	Events uint64 // events dispatched through the queue
-	Fused  uint64 // continuations fused inline (Chain / Yield fast path)
-	IOs    uint64 // protocol I/O completions recorded via CountIO
+	Events    uint64 // events dispatched through the queue
+	Fused     uint64 // continuations fused inline (Chain / Yield fast path)
+	IOs       uint64 // protocol I/O completions recorded via CountIO
+	Segments  uint64 // flow segments emitted by the wire fast path
+	SegFrames uint64 // frames carried inside those segments
 }
 
 // EventsPerIO returns dispatched events per recorded I/O (0 if none).
@@ -293,7 +357,7 @@ func (s Stats) EventsPerIO() float64 {
 
 // Stats returns the environment's dispatch counters.
 func (e *Env) Stats() Stats {
-	return Stats{Events: e.steps, Fused: e.fused, IOs: e.ios}
+	return Stats{Events: e.steps, Fused: e.fused, IOs: e.ios, Segments: e.segments, SegFrames: e.segFrames}
 }
 
 // handoff resumes p, transferring the dispatch role to its goroutine.
