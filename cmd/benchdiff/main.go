@@ -14,7 +14,16 @@
 //     segments (seg_frames_per_op > 0) that stops collapsing them —
 //     the knob-not-dead gate for the wire fast path. A silently dead
 //     fast path would also trip the events gate, but this one names
-//     the cause instead of the symptom.
+//     the cause instead of the symptom, and
+//   - rack entries (the sharded parallel kernel): a fresh multi-domain
+//     multi-worker rack whose par_windows is zero ran silently serial
+//     (NOPAR — the parallel knob went dead), and rack entries for the
+//     same workload (same name up to the domain-count suffix) must
+//     carry identical result fingerprints (FPDIV — a decomposition
+//     changed the simulated schedule, a determinism violation).
+//     Fingerprint drift against the BASELINE is informational only:
+//     it means the workload or timing model changed and the baseline
+//     needs regenerating, which ns gates already force.
 //
 // It understands both report shapes emitted by cmd/dcsbench:
 // BENCH_dataplane.json (data-plane microbenchmarks) and
@@ -45,6 +54,12 @@ type metric struct {
 	hasNs     bool
 	zeroed    bool // baseline promises zero allocs on this path
 	soft      bool // informational only (whole-run wall clocks): never fails
+
+	rack        bool // entry is a sharded rack measurement
+	domains     int
+	workers     int
+	parWindows  float64
+	fingerprint string
 }
 
 // eventTolerance is the hard ceiling on deterministic event-count
@@ -67,6 +82,15 @@ type kernelReport struct {
 		Name   string  `json:"name"`
 		WallMs float64 `json:"wall_ms"`
 	} `json:"figures"`
+	Racks []struct {
+		Name          string  `json:"name"`
+		Domains       int     `json:"domains"`
+		Workers       int     `json:"workers"`
+		NsPerFlow     float64 `json:"ns_per_flow"`
+		EventsPerFlow float64 `json:"events_per_flow"`
+		ParWindows    float64 `json:"par_windows"`
+		Fingerprint   string  `json:"fingerprint"`
+	} `json:"racks"`
 }
 
 type dataplaneReport struct {
@@ -121,7 +145,53 @@ func load(path string) (map[string]metric, error) {
 	for _, f := range kr.Figures {
 		out["figure:"+f.Name] = metric{ns: f.WallMs * 1e6, hasNs: true, soft: true}
 	}
+	// Rack entries: ns_per_flow gates like any other ns metric,
+	// events_per_flow is deterministic and gets the hard event gate,
+	// and the shard counters feed the NOPAR/FPDIV checks.
+	for _, r := range kr.Racks {
+		out[r.Name] = metric{
+			ns: r.NsPerFlow, hasNs: true, events: r.EventsPerFlow,
+			rack: true, domains: r.Domains, workers: r.Workers,
+			parWindows: r.ParWindows, fingerprint: r.Fingerprint,
+		}
+	}
 	return out, nil
+}
+
+// rackGroup keys a rack entry by workload: the name minus its
+// trailing domain-count suffix ("rack_alltoall_64x4" → workload
+// "rack_alltoall_64"). Entries in one group ran the same flows, so
+// their fingerprints must match whatever the decomposition.
+func rackGroup(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == 'x' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// checkRackFingerprints verifies fingerprint equality within each
+// same-workload group of one report, returning findings.
+func checkRackFingerprints(label string, m map[string]metric) []string {
+	groups := map[string]map[string]bool{}
+	for name, mt := range m {
+		if !mt.rack || mt.fingerprint == "" {
+			continue
+		}
+		if groups[rackGroup(name)] == nil {
+			groups[rackGroup(name)] = map[string]bool{}
+		}
+		groups[rackGroup(name)][mt.fingerprint] = true
+	}
+	var bad []string
+	for g, fps := range groups {
+		if len(fps) > 1 {
+			bad = append(bad, fmt.Sprintf("FPDIV %s: %d distinct fingerprints across %s decompositions", label, len(fps), g))
+		}
+	}
+	sort.Strings(bad)
+	return bad
 }
 
 func main() {
@@ -179,12 +249,39 @@ func main() {
 			status = "NOSEG" // flow fast path went dead on this bench
 			failed = true
 		}
+		// Knob-not-dead for the shard kernel: a multi-domain multi-worker
+		// rack that never dispatched domains in parallel ran silently
+		// serial — as did one whose baseline had parallel windows but
+		// now reports none. Both arms require fresh workers > 1: a
+		// single-core runner legitimately clamps the pool away.
+		if c.rack && c.workers > 1 && c.parWindows == 0 &&
+			(b.parWindows > 0 || c.domains > 1) {
+			status = "NOPAR"
+			failed = true
+		}
 		line := fmt.Sprintf("%-6s %-24s ns %12.2f -> %12.2f (%.2fx)  allocs %g -> %g",
 			status, name, b.ns, c.ns, ratio, b.allocs, c.allocs)
 		if b.events > 0 || c.events > 0 {
 			line += fmt.Sprintf("  events %.2f -> %.2f", b.events, c.events)
 		}
+		if c.rack && b.fingerprint != "" && c.fingerprint != b.fingerprint {
+			// Informational: the ns/events gates decide pass/fail; this
+			// names why the baseline needs regenerating.
+			line += "  fp changed (baseline regen needed)"
+		}
 		fmt.Println(line)
+	}
+	// Determinism gate: every decomposition of one rack workload must
+	// land on the same fingerprint. Checked per report side so a bad
+	// baseline is caught too.
+	for _, side := range []struct {
+		label string
+		m     map[string]metric
+	}{{"baseline", base}, {"fresh", cur}} {
+		for _, f := range checkRackFingerprints(side.label, side.m) {
+			fmt.Println(f)
+			failed = true
+		}
 	}
 	var added []string
 	for name := range cur {
@@ -194,6 +291,13 @@ func main() {
 	}
 	sort.Strings(added)
 	for _, name := range added {
+		// Baseline-less rack entries still get the NOPAR gate: dead
+		// parallelism is a property of the fresh run alone.
+		if c := cur[name]; c.rack && c.domains > 1 && c.workers > 1 && c.parWindows == 0 {
+			fmt.Printf("NOPAR %-24s (no baseline) multi-domain rack ran serial\n", name)
+			failed = true
+			continue
+		}
 		fmt.Printf("NEW   %-24s (no baseline)\n", name)
 	}
 	if failed {

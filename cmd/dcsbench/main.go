@@ -31,7 +31,7 @@ import (
 var experiments = []string{
 	"table1", "table2", "table3", "table4",
 	"fig2", "fig3", "fig8", "fig11a", "fig11b", "fig12", "fig13", "fig13sim", "sweep",
-	"faults", "headlines",
+	"faults", "rack", "headlines",
 }
 
 func main() {
@@ -43,6 +43,8 @@ func main() {
 	benchjson := flag.String("benchjson", "", "write a kernel+wall-time perf report (BENCH_kernel.json) to this file")
 	dataplanejson := flag.String("dataplanejson", "", "write the data-plane microbenchmark report (BENCH_dataplane.json) to this file")
 	wire := flag.String("wire", "flow", "wire model fidelity: flow (analytic fast path, default) or frame (every frame simulated)")
+	nodes := flag.Int("nodes", 64, "rack experiment: node count")
+	domains := flag.Int("domains", 4, "rack experiment: shard domains (1 = serial reference)")
 	flag.Parse()
 
 	switch *wire {
@@ -183,6 +185,26 @@ func main() {
 	}
 	if want["faults"] {
 		timed("faults", func() { bench.RunFaultMatrixParallel(workers).Render(w) })
+	}
+	if want["rack"] {
+		// The rack cell is itself parallel (shard kernel); run it alone
+		// and record serial-vs-sharded in the perf report when one is
+		// being written, otherwise just render the sharded run.
+		timed("rack", func() {
+			if perf != nil {
+				perf.MeasureRacks(*nodes, *domains)
+				for _, rp := range perf.Racks {
+					fmt.Fprintf(w, "rack %-22s wall %8.1f ms  windows %7d  par %7d  speedup %.2fx  fp %s\n",
+						rp.Name, rp.WallMs, rp.Windows, rp.ParWindows, rp.SpeedupVs1, rp.Fingerprint)
+				}
+			} else {
+				res := bench.RunRack(bench.RackConfig{
+					Nodes: *nodes, Domains: *domains,
+					Workers: bench.IntraRunWorkers(1, *domains),
+				})
+				fmt.Fprint(w, res.Render())
+			}
+		})
 	}
 	if want["headlines"] {
 		bench.Headlines(f11a, f11b, f12, f13).Render(w)

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -139,6 +140,31 @@ type SweepComparison struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// RackPerf is one rack workload measurement: wall-clock rates plus the
+// shard kernel's synchronization counters. ParWindows is the
+// knob-not-dead signal benchdiff gates on — a multi-domain entry whose
+// ParWindows is zero ran silently serial. Fingerprint is the
+// decomposition-invariant result digest: every rack entry with the
+// same workload must carry the same fingerprint no matter its domain
+// or worker count.
+type RackPerf struct {
+	Name          string  `json:"name"`
+	Nodes         int     `json:"nodes"`
+	Domains       int     `json:"domains"`
+	Workers       int     `json:"workers"`
+	Flows         int     `json:"flows"`
+	WallMs        float64 `json:"wall_ms"`
+	NsPerFlow     float64 `json:"ns_per_flow"`
+	Events        uint64  `json:"events"`
+	EventsPerFlow float64 `json:"events_per_flow"`
+	Windows       uint64  `json:"windows"`
+	ParWindows    uint64  `json:"par_windows"`
+	CrossFrames   uint64  `json:"cross_frames"`
+	MakespanNs    int64   `json:"makespan_ns"`
+	Fingerprint   string  `json:"fingerprint"`
+	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+}
+
 // PerfReport is the BENCH_kernel.json payload.
 type PerfReport struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
@@ -151,6 +177,7 @@ type PerfReport struct {
 	Protocol         []ProtocolStats  `json:"protocol,omitempty"`
 	Figures          []FigureTiming   `json:"figures,omitempty"`
 	Sweep            *SweepComparison `json:"sweep,omitempty"`
+	Racks            []RackPerf       `json:"racks,omitempty"`
 }
 
 // NewPerfReport runs the kernel microbenchmarks and returns a report
@@ -216,6 +243,55 @@ func (r *PerfReport) CompareSweep(workers int) {
 		}
 	}
 	r.Sweep = cmp
+}
+
+// rackPerfFrom flattens one rack run into its report entry.
+func rackPerfFrom(res RackResult) RackPerf {
+	st := res.ShardStats
+	rp := RackPerf{
+		Name:        fmt.Sprintf("rack_%s_%dx%d", res.Config.Pattern, res.Config.Nodes, st.Domains),
+		Nodes:       res.Config.Nodes,
+		Domains:     st.Domains,
+		Workers:     st.Workers,
+		Flows:       res.Flows,
+		WallMs:      res.WallSeconds * 1e3,
+		Events:      res.Events,
+		Windows:     st.Windows,
+		ParWindows:  st.ParWindows,
+		CrossFrames: st.CrossFrames,
+		MakespanNs:  int64(res.Makespan),
+		Fingerprint: res.Fingerprint(),
+	}
+	if res.Flows > 0 {
+		rp.NsPerFlow = res.WallSeconds * 1e9 / float64(res.Flows)
+		rp.EventsPerFlow = float64(res.Events) / float64(res.Flows)
+	}
+	return rp
+}
+
+// MeasureRacks runs the headline rack workload (all-to-all, the
+// event-dense pattern) serial and sharded, and records both entries.
+// The serial run is the reference schedule; the sharded run must
+// reproduce its fingerprint exactly, and its SpeedupVs1 is the
+// parallel kernel's headline number. The rack cell runs alone (outer
+// worker count 1), so its shard pool gets the whole GOMAXPROCS
+// budget via IntraRunWorkers — results are worker-count-invariant,
+// only the wall clock cares.
+func (r *PerfReport) MeasureRacks(nodes, domains int) {
+	serial := RunRack(RackConfig{Nodes: nodes, Domains: 1})
+	r.Racks = append(r.Racks, rackPerfFrom(serial))
+	if domains > 1 {
+		sharded := RunRack(RackConfig{Nodes: nodes, Domains: domains, Workers: IntraRunWorkers(1, domains)})
+		rp := rackPerfFrom(sharded)
+		if sharded.WallSeconds > 0 {
+			rp.SpeedupVs1 = serial.WallSeconds / sharded.WallSeconds
+		}
+		if rp.Fingerprint != r.Racks[len(r.Racks)-1].Fingerprint {
+			panic(fmt.Sprintf("bench: sharded rack fingerprint %s != serial %s (determinism violation)",
+				rp.Fingerprint, r.Racks[len(r.Racks)-1].Fingerprint))
+		}
+		r.Racks = append(r.Racks, rp)
+	}
 }
 
 // WriteJSON writes the report to path.

@@ -49,6 +49,34 @@ func EffectiveWorkers(n, workers int) int {
 	return workers
 }
 
+// IntraRunWorkers budgets the worker goroutines available *inside* one
+// cell when the sweep runs outer cells concurrently. Sharded rack
+// cells are themselves parallel (internal/sim/shard), so the honest
+// capacity constraint is the product: outer × intra ≤ GOMAXPROCS.
+// The result never drops below 1, so the total may still exceed
+// GOMAXPROCS when outer alone does — ParallelFor's own clamp handles
+// that axis. Intra-cell workers beyond the budget would not run
+// concurrently anyway, and (unlike the cross-cell axis) they also pay
+// per-window barrier hand-offs, so oversubscribing them is strictly
+// worse than serial. Results are unaffected either way: shard
+// execution is byte-identical at any worker count.
+func IntraRunWorkers(outer, want int) int {
+	if want < 1 {
+		want = 1
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	budget := runtime.GOMAXPROCS(0) / outer
+	if budget < 1 {
+		budget = 1
+	}
+	if want > budget {
+		want = budget
+	}
+	return want
+}
+
 // ParallelFor runs fn(i) for every i in [0, n) across up to
 // EffectiveWorkers(n, workers) goroutines and returns when all calls
 // have completed. fn must write its result into an index-keyed slot

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRackFlowsDeterministic pins the flow generator: the list depends
+// only on the config, and both patterns produce the expected shapes.
+func TestRackFlowsDeterministic(t *testing.T) {
+	cfg := RackConfig{Nodes: 8, Seed: 42}.withDefaults()
+	a, b := buildRackFlows(cfg), buildRackFlows(cfg)
+	if len(a) != 8*7 {
+		t.Fatalf("alltoall flow count = %d, want %d", len(a), 8*7)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs between identical builds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	in := buildRackFlows(RackConfig{Nodes: 8, Pattern: RackIncast, Rounds: 2}.withDefaults())
+	if len(in) != 7*2 {
+		t.Fatalf("incast flow count = %d, want %d", len(in), 7*2)
+	}
+	for _, f := range in {
+		if f.dst != 0 || f.src == 0 {
+			t.Fatalf("incast flow %+v not aimed at node 0", f)
+		}
+	}
+}
+
+// TestRackShardedMatchesSerial runs a small all-to-all rack serially
+// and sharded and requires byte-identical fingerprints — the cheap
+// in-package version of the exhaustive root-level equivalence suite.
+func TestRackShardedMatchesSerial(t *testing.T) {
+	cfg := RackConfig{Nodes: 8, Bytes: 8 << 10, Seed: 7}
+	serial := RunRack(cfg)
+	cfg.Domains = 4
+	sharded := RunRack(cfg)
+	if s, p := serial.Fingerprint(), sharded.Fingerprint(); s != p {
+		t.Fatalf("fingerprints diverge: serial %s, 4 domains %s", s, p)
+	}
+	if sharded.ShardStats.ParWindows == 0 {
+		t.Fatal("4-domain run never dispatched domains in parallel (knob dead)")
+	}
+	if serial.ShardStats.ParWindows != 0 {
+		t.Fatal("serial run reported parallel windows")
+	}
+	if serial.Makespan != sharded.Makespan {
+		t.Fatalf("makespan diverges: %v vs %v", serial.Makespan, sharded.Makespan)
+	}
+}
+
+// TestIntraRunWorkers pins the product clamp.
+func TestIntraRunWorkers(t *testing.T) {
+	mp := runtime.GOMAXPROCS(0)
+	if got := IntraRunWorkers(1, mp+5); got != mp {
+		t.Fatalf("IntraRunWorkers(1, %d) = %d, want %d", mp+5, got, mp)
+	}
+	if got := IntraRunWorkers(mp, 8); got != 1 {
+		t.Fatalf("IntraRunWorkers(%d, 8) = %d, want 1", mp, got)
+	}
+	if got := IntraRunWorkers(0, 0); got != 1 {
+		t.Fatalf("IntraRunWorkers(0, 0) = %d, want 1", got)
+	}
+	if mp >= 2 {
+		if got := IntraRunWorkers(1, 2); got != 2 {
+			t.Fatalf("IntraRunWorkers(1, 2) = %d, want 2", got)
+		}
+	}
+}

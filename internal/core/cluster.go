@@ -18,24 +18,9 @@ type Cluster struct {
 	Server *Node
 	Client *Node
 
-	nextConn  uint64
-	nextPort  uint32 // next client-side port; 40000..65535, then a new epoch
-	portEpoch uint32 // completed wraps of the client-port range
+	nextConn uint64
+	ports    PortSpace // (server, client) port pairs; see ports.go
 }
-
-// Client-side connection ports are drawn from [connPortBase, 65535];
-// server-side ports from 8000 + id%1000, shifted up 1000 per epoch.
-// Within an epoch every client port is unique; across epochs the
-// server-port blocks are disjoint — so the (SrcPort, DstPort) pair
-// never repeats until the server-port space itself runs out, at which
-// point OpenConn panics instead of silently colliding (the old scheme
-// wrapped nextPort past 65535 into reserved space and reused server
-// ports after 1000 connections).
-const (
-	connPortBase    = 40000
-	connSrvPortBase = 8000
-	connSrvPortSpan = 1000
-)
 
 // serverIP and clientIP address the two nodes.
 var (
@@ -60,7 +45,6 @@ func NewClusterWithClient(env *sim.Env, serverKind, clientKind Config, params Pa
 		Server:   NewNode(env, "server", serverKind, params),
 		Client:   NewNode(env, "client", clientKind, params),
 		nextConn: 1,
-		nextPort: connPortBase,
 	}
 	nic.Connect(c.Server.NIC, c.Client.NIC)
 	return c
@@ -80,7 +64,7 @@ type Conn struct {
 func (c *Cluster) OpenConn(dataPlane bool) Conn {
 	id := c.nextConn
 	c.nextConn++
-	srcPort, dstPort := c.allocPorts(id)
+	srcPort, dstPort := c.ports.AllocPair()
 	serverFlow := ether.Flow{
 		SrcMAC: serverMAC, DstMAC: clientMAC,
 		SrcIP: serverIP, DstIP: clientIP,
@@ -98,23 +82,6 @@ func (c *Cluster) OpenConn(dataPlane bool) Conn {
 		c.Client.OpenHostConn(id, serverFlow.Reverse())
 	}
 	return Conn{ID: id, ServerData: engineOwned}
-}
-
-// allocPorts returns a collision-free (server, client) port pair for
-// connection id, panicking with a clear message when the space is
-// genuinely exhausted.
-func (c *Cluster) allocPorts(id uint64) (srcPort, dstPort uint16) {
-	if c.nextPort > 65535 {
-		c.nextPort = connPortBase
-		c.portEpoch++
-	}
-	src := connSrvPortBase + uint64(id%connSrvPortSpan) + connSrvPortSpan*uint64(c.portEpoch)
-	if src > 65535 {
-		panic(fmt.Sprintf("core: connection port space exhausted after %d connections", id-1))
-	}
-	dst := c.nextPort
-	c.nextPort++
-	return uint16(src), uint16(dst)
 }
 
 // ClientSend transmits payload bytes from the client on a connection

@@ -446,45 +446,44 @@ func TestVanillaPageCacheHits(t *testing.T) {
 	}
 }
 
-// TestConnPortAllocation pins the connection port scheme: the first
-// epoch matches the historical layout (server 8000+id%1000, client
-// counting up from 40000), the client-port wrap opens a fresh
-// server-port block instead of silently reusing pairs, and true
+// TestConnPortAllocation pins the connection port scheme (ports.go):
+// the first epoch starts at (8000, 40000), the client-port wrap moves
+// to the next server port instead of silently reusing pairs, and true
 // exhaustion panics with a clear message rather than colliding.
 func TestConnPortAllocation(t *testing.T) {
 	env := sim.NewEnv()
 	cl := NewCluster(env, SWOpt, DefaultParams())
 
-	src1, dst1 := cl.allocPorts(1)
-	if src1 != 8001 || dst1 != 40000 {
-		t.Fatalf("first conn ports = (%d,%d), want (8001,40000)", src1, dst1)
+	src1, dst1 := cl.ports.AllocPair()
+	if src1 != connSrvPortBase || dst1 != connPortBase {
+		t.Fatalf("first conn ports = (%d,%d), want (%d,%d)", src1, dst1, connSrvPortBase, connPortBase)
 	}
 
 	// Fast-forward to the end of the client-port range: the next
-	// allocation must move to a disjoint server-port block, not wrap
-	// into reserved space.
-	cl.nextPort = 65535
-	if _, dst := cl.allocPorts(2); dst != 65535 {
+	// allocation must move to the next server port, not wrap into
+	// reserved space.
+	cl.ports.nextCli = 65535
+	if _, dst := cl.ports.AllocPair(); dst != 65535 {
 		t.Fatalf("pre-wrap DstPort = %d, want 65535", dst)
 	}
-	src3, dst3 := cl.allocPorts(3)
-	if dst3 != 40000 {
-		t.Fatalf("post-wrap DstPort = %d, want 40000", dst3)
+	src3, dst3 := cl.ports.AllocPair()
+	if dst3 != connPortBase {
+		t.Fatalf("post-wrap DstPort = %d, want %d", dst3, connPortBase)
 	}
-	if cl.portEpoch != 1 {
-		t.Fatalf("portEpoch = %d after wrap, want 1", cl.portEpoch)
+	if cl.ports.epoch != 1 {
+		t.Fatalf("epoch = %d after wrap, want 1", cl.ports.epoch)
 	}
-	if src3 < 9000 || src3 > 9999 {
-		t.Fatalf("post-wrap SrcPort = %d, want in epoch-1 block [9000,9999]", src3)
+	if src3 != connSrvPortBase+1 {
+		t.Fatalf("post-wrap SrcPort = %d, want %d", src3, connSrvPortBase+1)
 	}
 
 	// No (SrcPort, DstPort) pair may repeat across a dense run that
 	// includes a wrap.
 	cl2 := NewCluster(sim.NewEnv(), SWOpt, DefaultParams())
-	cl2.nextPort = 65535 - 50
+	cl2.ports.nextCli = 65535 - 50
 	seen := map[[2]uint16]bool{}
 	for id := uint64(1); id <= 200; id++ {
-		src, dst := cl2.allocPorts(id)
+		src, dst := cl2.ports.AllocPair()
 		key := [2]uint16{src, dst}
 		if seen[key] {
 			t.Fatalf("port pair (%d,%d) reused at id %d", src, dst, id)
@@ -497,10 +496,11 @@ func TestConnPortAllocation(t *testing.T) {
 		t.Fatal("OpenConn returned zero conn ID")
 	}
 
-	// Exhaustion: an epoch high enough that the server-port block
-	// would pass 65535 must panic, not wrap.
+	// Exhaustion: an epoch past the server-port range must panic, not
+	// wrap.
 	cl3 := NewCluster(sim.NewEnv(), SWOpt, DefaultParams())
-	cl3.portEpoch = 58
+	cl3.ports.epoch = srvPortEpochs
+	cl3.ports.nextCli = connPortBase
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -510,5 +510,5 @@ func TestConnPortAllocation(t *testing.T) {
 			t.Fatalf("panic message %q does not name the exhaustion", msg)
 		}
 	}()
-	cl3.allocPorts(999)
+	cl3.ports.AllocPair()
 }

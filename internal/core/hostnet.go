@@ -17,7 +17,7 @@ func (n *Node) OpenHostConn(id uint64, flow ether.Flow) {
 	if _, dup := n.conns[id]; dup {
 		panic(fmt.Sprintf("core: connection %d exists on %s", id, n.Name))
 	}
-	c := &hostConn{id: id, flow: flow}
+	c := &hostConn{id: id, flow: flow, avail: sim.NewCond(n.Env)}
 	n.conns[id] = c
 	n.connsRx[flow.Reverse().Tuple()] = c
 	if len(n.recvRings) > 1 {
@@ -95,12 +95,14 @@ func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 				runBytes += len(segs[j].payload)
 			}
 			segs[i].c.reserveStream(runBytes)
+			c := segs[i].c
 			for ; i < j; i++ {
 				segs[i].c.pushStream(segs[i].payload)
 			}
+			// Wake only this connection's readers, once per run.
+			c.avail.Broadcast()
 		}
 		n.postRecvBuffers(recv)
-		n.rxWake.Broadcast()
 	}
 }
 
@@ -116,7 +118,7 @@ func (n *Node) hostNetRecv(p *sim.Proc, bd *trace.Breakdown, connID uint64, want
 	n.Host.Exec(p, trace.CatNetStack, hp.SyscallEntry+hp.SockRecvSetup, bd)
 	start := p.Now()
 	for c.streamLen() < want {
-		n.rxWake.Wait(p)
+		c.avail.Wait(p)
 	}
 	bd.Add(trace.CatIdleWait, p.Now()-start)
 	out := c.takeStream(want)

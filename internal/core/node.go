@@ -88,6 +88,12 @@ type hostConn struct {
 	rxSeq  uint32
 	stream []byte // reassembled in-order payload; stream[rd:] is unconsumed
 	rd     int    // consumed prefix (head index, capacity-preserving)
+
+	// avail signals stream growth to this connection's readers. Waking
+	// per connection instead of per node matters at rack scale: a node
+	// with dozens of parked receivers would otherwise wake every one of
+	// them (a goroutine handoff each) on every delivered batch.
+	avail *sim.Cond
 }
 
 // reserveStream guarantees room for extra more unconsumed bytes,

@@ -269,7 +269,7 @@ func (n *Node) failoverToHost(p *sim.Proc, bd *trace.Breakdown) {
 		}
 		c := &hostConn{
 			id: ac.ID, flow: ac.Flow, txSeq: ac.TxSeq, rxSeq: ac.RxSeq,
-			stream: ac.Buffered,
+			stream: ac.Buffered, avail: sim.NewCond(n.Env),
 		}
 		n.conns[ac.ID] = c
 		n.connsRx[ac.Flow.Reverse().Tuple()] = c

@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// Connection port allocation: client-side ports are drawn from the
+// ephemeral range [connPortBase, 65535]; the server-side port is fixed
+// per epoch, starting at connSrvPortBase and moving up one each time
+// the client range wraps. Within an epoch every client port is unique;
+// across epochs the server ports differ — so a (server, client) pair
+// never repeats until the server-port space itself runs out, at which
+// point AllocPair panics instead of silently colliding. (The older
+// two-node scheme advanced the server port by id%1000 inside a
+// 1000-port epoch block, which exhausted the space 57× sooner and
+// could not be shared by nodes that did not share a connection-id
+// counter.)
+const (
+	connPortBase    = 40000
+	connSrvPortBase = 8000
+
+	cliPortsPerEpoch = 65536 - connPortBase
+	srvPortEpochs    = 65536 - connSrvPortBase
+)
+
+// PortSpace allocates collision-free (server, client) port pairs for
+// the connections of one node pair. The zero value is ready to use, so
+// a rack can keep one per directed node pair in a map without a
+// constructor; distinct node pairs need distinct PortSpaces only for
+// capacity — their connection tuples already differ by IP.
+type PortSpace struct {
+	nextCli uint32 // next client-side ephemeral port; 0 means unstarted
+	epoch   uint32 // completed wraps of the client range
+}
+
+// AllocPair returns the next collision-free (server, client) port
+// pair. The space holds srvPortEpochs × cliPortsPerEpoch (≈1.47
+// billion) pairs; exhausting it panics with a clear message.
+func (ps *PortSpace) AllocPair() (srvPort, cliPort uint16) {
+	if ps.nextCli == 0 {
+		ps.nextCli = connPortBase
+	}
+	if ps.nextCli > 65535 {
+		ps.nextCli = connPortBase
+		ps.epoch++
+	}
+	if ps.epoch >= srvPortEpochs {
+		panic(fmt.Sprintf("core: connection port space exhausted after %d pairs",
+			uint64(srvPortEpochs)*uint64(cliPortsPerEpoch)))
+	}
+	cli := ps.nextCli
+	ps.nextCli++
+	return uint16(connSrvPortBase + ps.epoch), uint16(cli)
+}
+
+// Allocated returns how many pairs have been handed out.
+func (ps *PortSpace) Allocated() uint64 {
+	if ps.nextCli == 0 {
+		return 0
+	}
+	return uint64(ps.epoch)*uint64(cliPortsPerEpoch) + uint64(ps.nextCli-connPortBase)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dcsctrl/internal/ether"
+	"dcsctrl/internal/sim"
+)
+
+// TestPortSpaceUniqueness drives one PortSpace across several epoch
+// wraps and checks that no (server, client) pair ever repeats — the
+// regression the old Cluster epoch arithmetic invited (server-port
+// reuse after the client range wrapped).
+func TestPortSpaceUniqueness(t *testing.T) {
+	var ps PortSpace
+	seen := map[uint32]bool{}
+	n := 2*cliPortsPerEpoch + 100 // cross two epoch boundaries
+	for i := 0; i < n; i++ {
+		srv, cli := ps.AllocPair()
+		if srv < connSrvPortBase {
+			t.Fatalf("server port %d below base %d", srv, connSrvPortBase)
+		}
+		if cli < connPortBase {
+			t.Fatalf("client port %d below ephemeral base %d", cli, connPortBase)
+		}
+		key := uint32(srv)<<16 | uint32(cli)
+		if seen[key] {
+			t.Fatalf("pair (%d, %d) repeated after %d allocations", srv, cli, i)
+		}
+		seen[key] = true
+	}
+	if got := ps.Allocated(); got != uint64(n) {
+		t.Fatalf("Allocated() = %d, want %d", got, n)
+	}
+}
+
+// TestRackConnTupleUniqueness opens connections from several clients
+// to one server and checks every receive tuple registered on the
+// server is distinct (connsRx silently overwrites on collision, so the
+// map size is the proof).
+func TestRackConnTupleUniqueness(t *testing.T) {
+	r := NewRack(RackParams{Nodes: 4, Domains: 2})
+	const perClient = 50
+	total := 0
+	for client := 1; client < 4; client++ {
+		for j := 0; j < perClient; j++ {
+			r.OpenConn(client, 0, false)
+			total++
+		}
+	}
+	if got := len(r.Nodes[0].connsRx); got != total {
+		t.Fatalf("server has %d distinct receive tuples, want %d (tuple collision)", got, total)
+	}
+}
+
+// TestRackEndToEnd pushes a payload across the switched fabric between
+// two nodes on different ToRs and different domains, serial and
+// sharded, and checks the bytes arrive intact either way.
+func TestRackEndToEnd(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		r := NewRack(RackParams{
+			Nodes: 4, Domains: 2, Workers: workers,
+			Spec: rackSpecSmall(),
+		})
+		conn := r.OpenConn(3, 0, false) // node 3 (ToR 1) -> node 0 (ToR 0)
+		payload := make([]byte, 48<<10)
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		var got []byte
+		r.Nodes[3].Env.Spawn("send", func(p *sim.Proc) {
+			r.NodeSend(p, 3, conn, payload)
+		})
+		r.Nodes[0].Env.Spawn("recv", func(p *sim.Proc) {
+			got = r.NodeRecv(p, 0, conn, len(payload))
+		})
+		end := r.Run(-1)
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("workers=%d: received %d bytes, want %d intact", workers, len(got), len(payload))
+		}
+		if end <= 0 {
+			t.Fatalf("workers=%d: rack finished at %v", workers, end)
+		}
+		frames, wireBytes, drops := r.FabricStats()
+		if frames == 0 || wireBytes == 0 {
+			t.Fatalf("workers=%d: no traffic crossed the fabric (frames=%d bytes=%d)", workers, frames, wireBytes)
+		}
+		if drops != 0 {
+			t.Fatalf("workers=%d: %d unroutable frames", workers, drops)
+		}
+		st := r.Stats()
+		if st.Windows == 0 || st.CrossFrames == 0 {
+			t.Fatalf("workers=%d: kernel ran no windows (%+v)", workers, st)
+		}
+	}
+}
+
+// rackSpecSmall is a 2-nodes-per-ToR spec so tiny racks still exercise
+// the spine tier.
+func rackSpecSmall() ether.RackSpec {
+	return ether.RackSpec{NodesPerToR: 2}
+}

@@ -107,9 +107,13 @@ func TestApplies(t *testing.T) {
 		{"nowallclock", "dcsctrl/internal/sim", true},
 		{"nowallclock", "dcsctrl/internal/bench", false},
 		{"nowallclock", "dcsctrl/cmd/dcsbench", false},
-		{"nogoroutine", "dcsctrl/internal/sim", false}, // the kernel owns concurrency
+		{"nogoroutine", "dcsctrl/internal/sim", false},       // the kernel owns concurrency
+		{"nogoroutine", "dcsctrl/internal/sim/shard", false}, // so does the shard kernel
 		{"nogoroutine", "dcsctrl/internal/nvme", true},
+		{"nogoroutine", "dcsctrl/internal/ether", true}, // topology/fabric stay model code
+		{"nogoroutine", "dcsctrl/internal/core", true},  // Rack wiring stays model code
 		{"nogoroutine", "dcsctrl/internal/bench", false},
+		{"nowallclock", "dcsctrl/internal/sim/shard", true}, // shard exemption is goroutines only
 		{"maporder", "dcsctrl/internal/report", true},
 		{"maporder", "dcsctrl", true},
 		{"maporder", "dcsctrl/cmd/dcslint", false},

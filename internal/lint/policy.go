@@ -9,6 +9,13 @@ const ModulePath = "dcsctrl"
 // and channels are allowed, and the home of the sim.Time type.
 const SimKernelPath = ModulePath + "/internal/sim"
 
+// ShardKernelPath is the conservative-parallel shard kernel. It is
+// kernel infrastructure, not model code: its worker pool dispatches
+// whole domains between lookahead barriers, and its determinism is
+// enforced by the parallel-equivalence suite (byte-identical
+// fingerprints at every worker count), not by the goroutine ban.
+const ShardKernelPath = SimKernelPath + "/shard"
+
 // simPackages are the simulation-model packages where every
 // determinism invariant is load-bearing: their code runs on the
 // simulated timeline and feeds golden figures and fault fingerprints.
@@ -80,8 +87,8 @@ func IsHostPackage(pkgPath string) bool { return inList(pkgPath, hostPackages) }
 //
 //   - nowallclock: simulation packages only — bench/report/cmd
 //     legitimately time real execution.
-//   - nogoroutine: simulation packages except the kernel itself,
-//     which owns all concurrency.
+//   - nogoroutine: simulation packages except the kernel itself and
+//     the shard kernel, which own all concurrency.
 //   - nochainrecursion: all simulation packages including the kernel —
 //     a self-chaining continuation is a stack bomb wherever it lives.
 //   - maporder and simtime: everywhere in the module except
@@ -95,7 +102,7 @@ func Applies(a *Analyzer, pkgPath string) bool {
 	case "nowallclock":
 		return IsSimPackage(pkgPath)
 	case "nogoroutine":
-		return IsSimPackage(pkgPath) && pkgPath != SimKernelPath
+		return IsSimPackage(pkgPath) && pkgPath != SimKernelPath && pkgPath != ShardKernelPath
 	case "nochainrecursion":
 		return IsSimPackage(pkgPath)
 	case "maporder", "simtime":

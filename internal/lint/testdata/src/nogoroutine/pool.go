@@ -1,0 +1,28 @@
+// Worker-pool-shaped code: the exact idiom the shard kernel is
+// allowed to use (task channel + spawned workers + barrier) must
+// still be flagged when it appears in ordinary model packages —
+// the policy carve-out is per-package, not per-shape.
+package nogoroutine
+
+import "sync"
+
+type task func()
+
+func workerPool(tasks []task) {
+	ch := make(chan task, len(tasks)) // want `raw channel make in model code`
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { // want `go statement in model code`
+			defer wg.Done()
+			for t := range ch {
+				t()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+}

@@ -155,6 +155,7 @@ type NIC struct {
 	txFIFO  *sim.Queue[outFrame]
 	txSpace *sim.Cond // signalled when the FIFO drains below its cap
 	peer    *NIC
+	uplink  Uplink
 	rxQ     *sim.Queue[[]byte]
 
 	queues    map[uint16]*nicQueue
@@ -307,8 +308,8 @@ func (n *NIC) txWireLoop(p *sim.Proc) {
 		for attempt := 0; ; attempt++ {
 			n.txBW.Transfer(p, f.wireLen)
 			n.txFrames++
-			peer := n.peer
-			if peer == nil {
+			peer, up := n.peer, n.uplink
+			if peer == nil && up == nil {
 				n.drops++
 				n.putFrameBuf(f.frame)
 				break
@@ -317,12 +318,20 @@ func (n *NIC) txWireLoop(p *sim.Proc) {
 				n.txReplays++
 				bad := append([]byte(nil), f.frame...)
 				bad[len(bad)-1] ^= 0xFF // breaks the TCP checksum
-				n.deliverFrame(peer, bad)
+				if up != nil {
+					up.SendFrame(bad, f.wireLen, 0)
+				} else {
+					n.deliverFrame(peer, bad)
+				}
 				p.Sleep(2 * n.params.PropDelay) // NAK round trip
 				continue
 			}
 			n.txPayload += int64(f.payLen)
-			n.deliverFrame(peer, f.frame)
+			if up != nil {
+				up.SendFrame(f.frame, f.wireLen, f.payLen)
+			} else {
+				n.deliverFrame(peer, f.frame)
+			}
 			break
 		}
 		n.wireFree = n.env.Now()
@@ -357,7 +366,38 @@ func (n *NIC) RecoveryStats() (txReplays, bdRefetches int64) {
 
 // Connect wires two NICs back-to-back (the paper's two-node setup).
 func Connect(a, b *NIC) {
+	if a.uplink != nil || b.uplink != nil {
+		panic("nic: Connect on a NIC already attached to a switched fabric")
+	}
 	a.peer, b.peer = b, a
+}
+
+// Uplink is a switched-fabric attachment point: SendFrame takes
+// ownership of a fully serialized wire frame at the instant its last
+// bit leaves the NIC (internal/sim/shard.Outbox satisfies this shape).
+// With an uplink attached there is no peer, so the flow-level transmit
+// fast path legally self-disables (claimRun requires a peer) and every
+// frame travels per-frame — the fabric model owns all post-NIC timing.
+type Uplink interface {
+	SendFrame(frame []byte, wireLen, payLen int)
+}
+
+// AttachUplink points the NIC's transmit side at a switched fabric
+// instead of a back-to-back peer.
+func (n *NIC) AttachUplink(u Uplink) {
+	if n.peer != nil {
+		panic("nic: AttachUplink on a NIC already connected back-to-back")
+	}
+	n.uplink = u
+}
+
+// InjectFrame hands one wire frame arriving from a switched fabric to
+// the receive path at the current instant — the fabric has already
+// charged serialization and propagation for every hop. The NIC takes
+// ownership of the frame buffer and recycles it through its free list
+// once consumed.
+func (n *NIC) InjectFrame(frame []byte) {
+	n.rxQ.Put(frame)
 }
 
 // SetSteering directs frames matching the connection tuple to a queue

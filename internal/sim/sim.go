@@ -291,6 +291,21 @@ func (e *Env) Run(horizon Time) Time {
 // Pending reports whether any events remain queued.
 func (e *Env) Pending() bool { return e.fifoHead < len(e.fifo) || len(e.heap) > 0 }
 
+// NextAt reports the deadline of the globally earliest queued event
+// without dispatching it. Lane entries are always at the current
+// instant, which no heap event can precede, so the lane head wins when
+// the lane is non-empty. Conservative window coordinators (sim/shard)
+// use this to pick the next execution window's start.
+func (e *Env) NextAt() (Time, bool) {
+	if e.fifoHead < len(e.fifo) {
+		return e.fifo[e.fifoHead].at, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
 // pendingNow reports whether any already-queued event is due at the
 // current instant. While false, the next dispatch would be the event we
 // are about to enqueue, so running it inline is schedule-identical.
