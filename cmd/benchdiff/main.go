@@ -35,6 +35,15 @@
 //
 //	benchdiff -baseline BENCH_dataplane.json -fresh fresh_dataplane.json
 //	benchdiff -baseline BENCH_kernel.json -fresh fresh_kernel.json -tolerance 0.5
+//
+// With -hotpaths (the JSON emitted by `dcslint -hotpaths`), benchdiff
+// also cross-checks the baseline's zero-allocation promises against
+// the //dcslint:hotpath roots the prover actually guards: every bench
+// with allocs_per_op == 0 must be named by some root's directive, and
+// every bench a directive names must exist and be zero-alloc. This
+// keeps the static proof and the measured invariant from drifting
+// apart — a new zero-alloc bench without a prover root, or a root
+// still naming a bench that grew allocations, both fail CI.
 package main
 
 import (
@@ -194,10 +203,68 @@ func checkRackFingerprints(label string, m map[string]metric) []string {
 	return bad
 }
 
+// hotpathRoot mirrors one entry of `dcslint -hotpaths` output: a
+// //dcslint:hotpath-tagged function and the benches its directive
+// names.
+type hotpathRoot struct {
+	Func    string   `json:"func"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Benches []string `json:"benches"`
+}
+
+// checkHotpaths cross-checks the baseline's zero-alloc benches against
+// the prover's root set, in both directions:
+//
+//   - a zero-alloc bench no root names is an unguarded invariant: the
+//     allocation-freedom BENCH_dataplane.json asserts is not being
+//     proven by dcslint, so a regression would only surface at bench
+//     time (or never, on a noisy runner);
+//   - a root naming a bench that is missing or has allocs_per_op > 0
+//     is a stale claim: the directive promises a proof the numbers
+//     contradict.
+func checkHotpaths(base map[string]metric, path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("HOTPATH cannot read root list: %v", err)}
+	}
+	var roots []hotpathRoot
+	if err := json.Unmarshal(data, &roots); err != nil {
+		return []string{fmt.Sprintf("HOTPATH %s: %v", path, err)}
+	}
+	tagged := map[string]string{} // bench name -> tagged func
+	for _, r := range roots {
+		for _, b := range r.Benches {
+			tagged[b] = r.Func
+		}
+	}
+	var bad []string
+	for name, m := range base {
+		if m.zeroed && tagged[name] == "" {
+			bad = append(bad, fmt.Sprintf(
+				"HOTPATH %s: allocs_per_op == 0 but no //dcslint:hotpath root names it; tag the bench's fast-path entry point", name))
+		}
+	}
+	for bench, fn := range tagged {
+		m, ok := base[bench]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf(
+				"HOTPATH %s: //dcslint:hotpath on %s names a bench missing from the baseline", bench, fn))
+		case !m.zeroed:
+			bad = append(bad, fmt.Sprintf(
+				"HOTPATH %s: //dcslint:hotpath on %s claims zero allocs but baseline has allocs_per_op %g", bench, fn, m.allocs))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "checked-in baseline report (JSON)")
 	fresh := flag.String("fresh", "", "freshly generated report (JSON)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown before failing")
+	hotpaths := flag.String("hotpaths", "", "dcslint -hotpaths output to cross-check zero-alloc benches against prover roots")
 	flag.Parse()
 	if *baseline == "" || *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
@@ -279,6 +346,12 @@ func main() {
 		m     map[string]metric
 	}{{"baseline", base}, {"fresh", cur}} {
 		for _, f := range checkRackFingerprints(side.label, side.m) {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if *hotpaths != "" {
+		for _, f := range checkHotpaths(base, *hotpaths) {
 			fmt.Println(f)
 			failed = true
 		}

@@ -172,7 +172,8 @@ func (e *Entry) Done(p *sim.Proc) {
 // AllocIssue allocates an entry and drives it wait→ready→issue in one
 // batched transition for the dependency-free common case: all three op
 // costs are charged in a single sleep instead of three separate parked
-// events. Blocks while the scoreboard is full, like Alloc.
+// events. Blocks while the scoreboard is full, like Alloc. Not a
+// noalloc root: it returns a freshly allocated Entry by design.
 func (s *Scoreboard) AllocIssue(p *sim.Proc, cmdID uint32, seq int, dev string, rw byte) *Entry {
 	for s.live >= s.cap {
 		s.freeCond.Wait(p)
@@ -189,10 +190,13 @@ func (s *Scoreboard) AllocIssue(p *sim.Proc, cmdID uint32, seq int, dev string, 
 // DeferDone hands a finished entry to the scoreboard's retire stage
 // without blocking the caller; retirement cost is charged there, in
 // same-instant batches.
+//
+//dcslint:hotpath
 func (s *Scoreboard) DeferDone(e *Entry) {
 	if e.State != StateIssue {
 		panic(fmt.Sprintf("hdc: DeferDone from %v", e.State))
 	}
+	//dcslint:allow noalloc pendDone keeps its capacity across batches; steady state is 0 allocs/op (BENCH_dataplane hdc_gather)
 	s.pendDone = append(s.pendDone, e)
 	s.doneKick.Broadcast()
 }

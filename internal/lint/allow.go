@@ -23,15 +23,22 @@ type allowSet map[string]map[int]map[string]bool
 
 // parseAllows scans the comments of files for dcslint directives.
 // A directive on line L suppresses matching diagnostics on L (trailing
-// comment) and L+1 (standalone comment above the code).
+// comment), L+1 (standalone comment above the code), and — when the
+// directive sits inside a multi-line comment group — the line after
+// the whole group, so an allow woven into a doc comment attaches to
+// the declaration it documents rather than to the next comment line.
 func parseAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
 	allows := allowSet{}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
+			groupEnd := fset.Position(cg.End()).Line
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, directivePrefix) {
 					continue
+				}
+				if _, isHotpath := parseHotpath(c); isHotpath {
+					continue // noalloc's root marker, parsed by the facts layer
 				}
 				name, ok := parseDirective(c.Text)
 				if !ok {
@@ -49,7 +56,7 @@ func parseAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic
 					m = map[int]map[string]bool{}
 					allows[pos.Filename] = m
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
+				for _, line := range []int{pos.Line, pos.Line + 1, groupEnd + 1} {
 					if m[line] == nil {
 						m[line] = map[string]bool{}
 					}
@@ -72,7 +79,7 @@ func parseDirective(text string) (analyzer string, ok bool) {
 	if len(fields) < 2 { // analyzer + at least one reason word
 		return "", false
 	}
-	if byName(fields[0]) == nil {
+	if !knownAnalyzer(fields[0]) {
 		return "", false
 	}
 	return fields[0], true
@@ -82,4 +89,25 @@ func parseDirective(text string) (analyzer string, ok bool) {
 // suppressed by a directive.
 func (a allowSet) allowed(pos token.Position, analyzer string) bool {
 	return a[pos.Filename][pos.Line][analyzer]
+}
+
+// merge folds other into a (filenames are disjoint across packages,
+// but merging line maps keeps this safe regardless).
+func (a allowSet) merge(other allowSet) {
+	for file, lines := range other {
+		m := a[file]
+		if m == nil {
+			a[file] = lines
+			continue
+		}
+		for line, names := range lines {
+			if m[line] == nil {
+				m[line] = names
+				continue
+			}
+			for name := range names {
+				m[line][name] = true
+			}
+		}
+	}
 }

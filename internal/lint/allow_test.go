@@ -17,6 +17,8 @@ func TestParseDirective(t *testing.T) {
 		{"//dcslint:allow maporder caller sorts the result", "maporder", true},
 		{"//dcslint:allow simtime raw cycle count", "simtime", true},
 		{"//dcslint:allow nogoroutine fixture plumbing", "nogoroutine", true},
+		{"//dcslint:allow noalloc capacity preserved across calls", "noalloc", true},
+		{"//dcslint:allow shardsafe merged at the barrier", "shardsafe", true},
 		{"//dcslint:allow nowallclock", "", false},                // missing reason
 		{"//dcslint:allow", "", false},                            // missing everything
 		{"//dcslint:allow nosuchanalyzer some reason", "", false}, // unknown analyzer
@@ -74,6 +76,63 @@ func g() {}
 		if got := allows.allowed(at(c.line), c.analyzer); got != c.want {
 			t.Errorf("allowed(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
 		}
+	}
+}
+
+// Regression test: a directive woven into a multi-line comment group
+// must attach to the line after the WHOLE group — the code the group
+// annotates — not just the next comment line. Before the fix the
+// suppression window was {L, L+1} only, so an allow followed by one
+// more line of explanation silently stopped covering anything.
+func TestAllowInsideCommentGroup(t *testing.T) {
+	src := `package p
+
+func f() {
+	// The iteration below is order-independent because the
+	//dcslint:allow maporder result feeds a sort before use
+	// and the sort normalizes whatever order the range produced.
+	g()
+	g()
+}
+
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, bad := parseAllows(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	if !allows.allowed(at(7), "maporder") {
+		t.Errorf("directive inside a comment group must cover the line after the group (line 7)")
+	}
+	if allows.allowed(at(8), "maporder") {
+		t.Errorf("suppression must stop at the first code line after the group")
+	}
+}
+
+// //dcslint:hotpath is the noalloc root marker, not an allow: the
+// directive parser must pass over it without reporting it malformed.
+func TestHotpathDirectiveNotMalformed(t *testing.T) {
+	src := `package p
+
+//dcslint:hotpath some_bench
+func f() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bad := parseAllows(fset, []*ast.File{f})
+	if len(bad) != 0 {
+		t.Fatalf("hotpath directive reported as malformed: %v", bad)
 	}
 }
 

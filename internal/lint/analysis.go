@@ -55,11 +55,43 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string // analyzer name; filled by the driver if empty
 	Message  string
+
+	// Chain is the interprocedural call chain that makes the position
+	// relevant (root first); only module analyzers set it.
+	Chain []ChainLink
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModuleAnalyzer is a whole-module check: unlike Analyzer, whose Run
+// sees one package at a time, a module analyzer runs once over every
+// loaded target package plus the interprocedural facts layer
+// (per-function summaries + call graph). noalloc and shardsafe are
+// module analyzers — their invariants ("transitively allocation-free",
+// "no state mutably shared across shard domains") only exist at
+// whole-module scope.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass) error
+}
+
+// ModulePass carries one module analyzer's view of the whole module.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	Facts    *Facts
+
+	// Report records one diagnostic. Filled in by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos with a call chain.
+func (p *ModulePass) Reportf(pos token.Pos, chain []ChainLink, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Chain: chain, Message: fmt.Sprintf(format, args...)})
 }
 
 // calleeFunc resolves the called function of call, seeing through

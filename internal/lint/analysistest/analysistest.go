@@ -41,6 +41,23 @@ var (
 // compares diagnostics with // want expectations.
 func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	t.Helper()
+	check(t, dir, func(pkg *lint.Package) []lint.Finding {
+		return lint.Apply(a, pkg)
+	})
+}
+
+// RunModule applies module analyzer ma to the single package rooted
+// at dir (treated as the whole module for facts purposes) and
+// compares diagnostics with // want expectations.
+func RunModule(t *testing.T, ma *lint.ModuleAnalyzer, dir string) {
+	t.Helper()
+	check(t, dir, func(pkg *lint.Package) []lint.Finding {
+		return lint.ApplyModule(ma, pkg)
+	})
+}
+
+func check(t *testing.T, dir string, apply func(*lint.Package) []lint.Finding) {
+	t.Helper()
 	loaderOnce.Do(func() { sharedLoader = lint.NewLoader("") })
 	pkg, err := sharedLoader.CheckDir(dir, filepath.Base(dir))
 	if err != nil {
@@ -52,7 +69,7 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 		line int
 	}
 	got := map[key][]string{}
-	for _, f := range lint.Apply(a, pkg) {
+	for _, f := range apply(pkg) {
 		k := key{filepath.Base(f.Pos.Filename), f.Pos.Line}
 		got[k] = append(got[k], fmt.Sprintf("[%s] %s", f.Analyzer, f.Message))
 	}

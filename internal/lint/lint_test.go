@@ -29,6 +29,14 @@ func TestSimTime(t *testing.T) {
 	analysistest.Run(t, lint.SimTime, filepath.Join("testdata", "src", "simtime"))
 }
 
+func TestNoAlloc(t *testing.T) {
+	analysistest.RunModule(t, lint.NoAlloc, filepath.Join("testdata", "src", "noalloc"))
+}
+
+func TestShardSafe(t *testing.T) {
+	analysistest.RunModule(t, lint.ShardSafe, filepath.Join("testdata", "src", "shardsafe"))
+}
+
 // TestRepoIsClean is the property CI enforces: the whole module passes
 // the suite with zero findings. A regression here means either new
 // code broke a determinism invariant or an analyzer grew a false
@@ -52,6 +60,14 @@ func TestDiagnosticsNameAnalyzerAndFix(t *testing.T) {
 		}
 		if !strings.Contains(a.Doc, "\n\n") {
 			t.Errorf("%s: Doc needs a summary line plus explanation", a.Name)
+		}
+	}
+	for _, ma := range lint.ModuleAnalyzers() {
+		if ma.Name == "" || strings.ContainsAny(ma.Name, " \t") {
+			t.Errorf("analyzer name %q must be a single lower-case word", ma.Name)
+		}
+		if !strings.Contains(ma.Doc, "\n\n") {
+			t.Errorf("%s: Doc needs a summary line plus explanation", ma.Name)
 		}
 	}
 }

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc proves hot-path roots transitively allocation-free.
+//
+// A function marked //dcslint:hotpath is a zero-allocation promise —
+// the same promise BENCH_dataplane.json makes dynamically with
+// allocs_per_op == 0 and the AllocsPerRun tests make per-leaf. The
+// analyzer walks the static call graph from every root and flags each
+// reachable construct that can allocate, with the full call chain in
+// the diagnostic. Sites the summary cannot see through — interface
+// method calls, calls of func values, external functions outside the
+// known-clean table — are flagged as unprovable rather than silently
+// trusted; //dcslint:allow noalloc <reason> documents why such a site
+// is safe (a non-escaping closure, an amortized append, a cold path).
+//
+// Two cold-path shapes are exempt by construction (see DESIGN.md §15):
+// panic argument subtrees (the cost of dying is irrelevant) and calls
+// whose error result is returned directly (`return fmt.Errorf(...)` —
+// the miss arm the steady-state benchmarks never take).
+var NoAlloc = &ModuleAnalyzer{
+	Name: "noalloc",
+	Doc: "prove //dcslint:hotpath functions transitively allocation-free\n\n" +
+		"Walks the module call graph from every hotpath root and flags " +
+		"reachable allocation sites (make, new, append growth, closure " +
+		"and method-value creation, interface boxing, string conversion " +
+		"or concatenation, go statements) and unprovable calls " +
+		"(interface methods, func values, unknown external functions), " +
+		"each with its call chain. Suppress a proven-safe site with " +
+		"//dcslint:allow noalloc <reason>.",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *ModulePass) error {
+	facts := pass.Facts
+	for _, pos := range facts.BadHotpaths {
+		pass.Report(Diagnostic{
+			Pos:      pos,
+			Analyzer: "dcslint",
+			Message:  "dangling //dcslint:hotpath: the directive must be part of a function declaration's doc comment",
+		})
+	}
+
+	// Each offending site is reported once, with the chain from the
+	// first (source-order) root that reaches it — later roots reaching
+	// the same site add nothing a fix would need.
+	reported := map[token.Pos]bool{}
+	for _, root := range facts.Roots {
+		r := facts.newReach()
+		r.addRoot(root)
+		r.grow(nil)
+		for _, ff := range r.order {
+			for _, a := range ff.Allocs {
+				if reported[a.Pos] {
+					continue
+				}
+				reported[a.Pos] = true
+				desc := a.Kind.String()
+				if a.Detail != "" {
+					desc += " (" + a.Detail + ")"
+				}
+				chain := r.chain(ff)
+				pass.Reportf(a.Pos, chain, "allocation on hot path %s: %s [%s]",
+					root.Name(), desc, chainString(chain))
+			}
+			for _, d := range ff.Dynamic {
+				if reported[d.Pos] {
+					continue
+				}
+				reported[d.Pos] = true
+				chain := r.chain(ff)
+				pass.Reportf(d.Pos, chain, "cannot prove hot path %s allocation-free: %s [%s]",
+					root.Name(), d.Desc, chainString(chain))
+			}
+			for _, cs := range ff.Calls {
+				if facts.Lookup(cs.Callee) != nil || knownCleanCall(cs.Callee) {
+					continue
+				}
+				if reported[cs.Pos] {
+					continue
+				}
+				reported[cs.Pos] = true
+				chain := r.chain(ff)
+				pass.Reportf(cs.Pos, chain, "hot path %s calls %s: external function not provably allocation-free [%s]",
+					root.Name(), FuncName(cs.Callee), chainString(chain))
+			}
+		}
+	}
+	return nil
+}
+
+// knownCleanCall is the allowlist of external (non-module) functions
+// known never to allocate. Kept deliberately small: a wrong entry
+// here silently voids the proof, so only leaf packages with trivially
+// allocation-free implementations qualify.
+func knownCleanCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "sync/atomic", "math", "math/bits":
+		return true
+	case "encoding/binary":
+		// The fixed-width ByteOrder accessors are pure loads/stores;
+		// the reflective Read/Write and the varint Append* family
+		// allocate or may grow.
+		return name != "Read" && name != "Write" && !strings.HasPrefix(name, "Append")
+	case "sort":
+		// sort.Search calls a caller-supplied closure; whether THAT
+		// allocates is judged at the closure's own creation site.
+		return name == "Search"
+	case "errors":
+		return name == "Is" || name == "As" || name == "Unwrap"
+	}
+	return false
+}

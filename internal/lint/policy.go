@@ -111,12 +111,20 @@ func Applies(a *Analyzer, pkgPath string) bool {
 	return true
 }
 
-// Analyzers returns the full dcslint suite in reporting order.
+// Analyzers returns the per-package dcslint suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{NoWallClock, MapOrder, NoGoroutine, NoChainRecursion, SimTime}
 }
 
-// byName returns the analyzer with the given name, or nil.
+// ModuleAnalyzers returns the whole-module (interprocedural) suite.
+// Module analyzers scope themselves — noalloc walks only from
+// //dcslint:hotpath roots, shardsafe only from kernel-callback
+// registrations — so they have no Applies entry.
+func ModuleAnalyzers() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{NoAlloc, ShardSafe}
+}
+
+// byName returns the per-package analyzer with the given name, or nil.
 func byName(name string) *Analyzer {
 	for _, a := range Analyzers() {
 		if a.Name == name {
@@ -124,4 +132,19 @@ func byName(name string) *Analyzer {
 		}
 	}
 	return nil
+}
+
+// knownAnalyzer reports whether name identifies any analyzer in the
+// suite (per-package or module) — the namespace //dcslint:allow
+// directives may target.
+func knownAnalyzer(name string) bool {
+	if byName(name) != nil {
+		return true
+	}
+	for _, ma := range ModuleAnalyzers() {
+		if ma.Name == name {
+			return true
+		}
+	}
+	return false
 }

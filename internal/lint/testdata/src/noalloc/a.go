@@ -1,0 +1,128 @@
+// noalloc cases: functions marked //dcslint:hotpath must be
+// transitively allocation-free. Reachable allocation constructs and
+// unprovable calls are flagged with the full call chain; panic
+// arguments, directly returned error constructions, known-clean
+// externals, and //dcslint:allow'd sites are exempt.
+package noalloc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+type frame struct{ data []byte }
+
+type ring struct {
+	buf   []frame
+	stats map[int]int
+}
+
+// RxFastPath is the seeded-mutation shape from the acceptance
+// criteria: a receive fast path whose helper grew an append.
+//
+//dcslint:hotpath nic_frame_echo
+func (r *ring) RxFastPath(f frame) {
+	r.deliver(f)
+}
+
+func (r *ring) deliver(f frame) {
+	r.buf = append(r.buf, f) // want `allocation on hot path \(\*noalloc\.ring\)\.RxFastPath: append may grow its backing array \[\(\*noalloc\.ring\)\.RxFastPath → \(\*noalloc\.ring\)\.deliver\]`
+}
+
+//dcslint:hotpath
+func makes() {
+	_ = make([]byte, 64)    // want `allocation on hot path noalloc\.makes: make`
+	_ = []int{1, 2}         // want `slice literal`
+	_ = map[string]int{}    // want `map literal`
+}
+
+//dcslint:hotpath
+func news() *ring {
+	return &ring{} // want `new \(address of composite literal\)`
+}
+
+//dcslint:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want `capturing closure \(captures n\)`
+}
+
+//dcslint:hotpath
+func strings(b []byte, a, c string) string {
+	s := string(b) // want `string conversion`
+	t := a + c     // want `string concatenation`
+	return s + t   // want `string concatenation`
+}
+
+//dcslint:hotpath
+func logs(v int) {
+	fmt.Println(v) // want `interface boxing \(int\)` `calls fmt\.Println: external function not provably allocation-free`
+}
+
+//dcslint:hotpath
+func spawns() {
+	go nop() // want `go statement`
+}
+
+func nop() {}
+
+//dcslint:hotpath
+func methodValue(r *ring) func(frame) {
+	return r.deliver // want `method value \(binds its receiver\) \(deliver\)`
+}
+
+type handler interface{ handle() }
+
+//dcslint:hotpath
+func dynIface(h handler) {
+	h.handle() // want `cannot prove hot path noalloc\.dynIface allocation-free: interface method call handle`
+}
+
+//dcslint:hotpath
+func dynFunc(f func()) {
+	f() // want `call through a func value`
+}
+
+// Exempt shapes: the crash path and the directly returned error
+// construction are cold by construction.
+
+//dcslint:hotpath
+func crashes(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n %d", n)) // ok: panic argument subtree
+	}
+}
+
+//dcslint:hotpath
+func coldError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n) // ok: error constructed in return
+	}
+	return nil
+}
+
+//dcslint:hotpath
+func codec(b []byte, v uint16) {
+	binary.LittleEndian.PutUint16(b, v) // ok: known-clean external
+}
+
+//dcslint:hotpath
+func allowedAppend(dst []int, v int) []int {
+	//dcslint:allow noalloc caller preserves capacity across calls
+	return append(dst, v) // ok: escape hatch with documented reason
+}
+
+// Two roots reaching one site report it once, from the first root in
+// source order.
+
+//dcslint:hotpath
+func rootA() { sharedLeaf() }
+
+//dcslint:hotpath
+func rootB() { sharedLeaf() }
+
+func sharedLeaf() {
+	_ = make([]int, 1) // want `allocation on hot path noalloc\.rootA: make \[noalloc\.rootA → noalloc\.sharedLeaf\]`
+}
+
+//dcslint:hotpath // want `dangling //dcslint:hotpath`
+var notAFunction = 0

@@ -101,6 +101,7 @@ func (r *Region) WriteAt(off uint64, p []byte) {
 	r.check(off, len(p))
 	copy(r.data[off:], p)
 	if r.writeHook != nil {
+		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free
 		r.writeHook(off, len(p))
 	}
 }
@@ -127,6 +128,7 @@ func (r *Region) Zero(off uint64, n int) {
 		b[i] = 0
 	}
 	if r.writeHook != nil {
+		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free
 		r.writeHook(off, n)
 	}
 }
@@ -189,6 +191,7 @@ func (m *Map) Resolve(addr Addr) (*Region, uint64, error) {
 	if r := m.last; r != nil && r.Contains(addr) {
 		return r, uint64(addr - r.Base), nil
 	}
+	//dcslint:allow noalloc non-escaping search closure, stack-allocated (TestMemAllocFree proves 0 allocs/op)
 	i := sort.Search(len(m.regions), func(i int) bool {
 		return m.regions[i].End() > addr
 	})
@@ -201,6 +204,8 @@ func (m *Map) Resolve(addr Addr) (*Region, uint64, error) {
 
 // MustResolve is Resolve that panics on unmapped addresses (device
 // models treat a bad address as a modelling bug, not a runtime error).
+//
+//dcslint:hotpath
 func (m *Map) MustResolve(addr Addr) (*Region, uint64) {
 	r, off, err := m.Resolve(addr)
 	if err != nil {
@@ -233,6 +238,8 @@ func (m *Map) Read(addr Addr, n int) []byte {
 
 // ReadInto copies len(p) bytes from the absolute address addr into p
 // without allocating.
+//
+//dcslint:hotpath mem_read_into_4k
 func (m *Map) ReadInto(addr Addr, p []byte) {
 	r, off := m.MustResolve(addr)
 	r.ReadAt(off, p)
@@ -248,6 +255,8 @@ func (m *Map) ReadInto(addr Addr, p []byte) {
 // or take an explicit copy before parking. Writing through a View
 // bypasses the region write hook; use Write/WriteAt for stores that
 // must be observable.
+//
+//dcslint:hotpath
 func (m *Map) View(addr Addr, n int) []byte {
 	r, off := m.MustResolve(addr)
 	return r.Bytes(off, n)
@@ -255,6 +264,8 @@ func (m *Map) View(addr Addr, n int) []byte {
 
 // Zero clears n bytes at addr in place, firing the write hook as a
 // write of n zero bytes would, without allocating a zero buffer.
+//
+//dcslint:hotpath
 func (m *Map) Zero(addr Addr, n int) {
 	if n == 0 {
 		return
@@ -268,6 +279,8 @@ func (m *Map) Zero(addr Addr, n int) {
 // region-to-region with no bounce buffer; Go's copy has memmove
 // semantics, so overlapping same-region spans behave exactly as the
 // old read-snapshot-then-write implementation did.
+//
+//dcslint:hotpath mem_copy_same_map_4k
 func (m *Map) Copy(dst, src Addr, n int) {
 	if n == 0 {
 		return
@@ -278,6 +291,7 @@ func (m *Map) Copy(dst, src Addr, n int) {
 	dr.check(doff, n)
 	copy(dr.data[doff:doff+uint64(n)], sr.data[soff:soff+uint64(n)])
 	if dr.writeHook != nil {
+		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free
 		dr.writeHook(doff, n)
 	}
 }

@@ -35,6 +35,8 @@ type SendBD struct {
 }
 
 // Encode serializes the BD.
+//
+//dcslint:hotpath
 func (b *SendBD) Encode() [SendBDSize]byte {
 	var out [SendBDSize]byte
 	binary.LittleEndian.PutUint64(out[0:], uint64(b.Addr))
@@ -45,6 +47,8 @@ func (b *SendBD) Encode() [SendBDSize]byte {
 }
 
 // DecodeSendBD parses a send BD.
+//
+//dcslint:hotpath
 func DecodeSendBD(raw []byte) (SendBD, error) {
 	if len(raw) < SendBDSize {
 		return SendBD{}, fmt.Errorf("nic: short send BD")
@@ -64,6 +68,8 @@ type RecvBD struct {
 }
 
 // Encode serializes the BD.
+//
+//dcslint:hotpath
 func (b *RecvBD) Encode() [RecvBDSize]byte {
 	var out [RecvBDSize]byte
 	binary.LittleEndian.PutUint64(out[0:], uint64(b.Addr))
@@ -72,6 +78,8 @@ func (b *RecvBD) Encode() [RecvBDSize]byte {
 }
 
 // DecodeRecvBD parses a receive BD.
+//
+//dcslint:hotpath
 func DecodeRecvBD(raw []byte) (RecvBD, error) {
 	if len(raw) < RecvBDSize {
 		return RecvBD{}, fmt.Errorf("nic: short recv BD")
@@ -98,6 +106,8 @@ type RecvCpl struct {
 const HdrOff = 64
 
 // Encode serializes the completion.
+//
+//dcslint:hotpath
 func (c *RecvCpl) Encode() [RecvCplSize]byte {
 	var out [RecvCplSize]byte
 	binary.LittleEndian.PutUint32(out[0:], c.BDIndex)
@@ -110,6 +120,8 @@ func (c *RecvCpl) Encode() [RecvCplSize]byte {
 }
 
 // DecodeRecvCpl parses a receive completion.
+//
+//dcslint:hotpath
 func DecodeRecvCpl(raw []byte) (RecvCpl, error) {
 	if len(raw) < RecvCplSize {
 		return RecvCpl{}, fmt.Errorf("nic: short recv completion")

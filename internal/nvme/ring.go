@@ -62,6 +62,8 @@ func (r *Ring) Full() bool { return len(r.pending) >= r.cfg.Entries-1 }
 // Submit writes cmd into the next SQE slot and registers onDone for
 // its completion. It returns the assigned CID. The caller must ring
 // the doorbell (possibly batching several submissions per ring).
+//
+//dcslint:hotpath nvme_read_4k
 func (r *Ring) Submit(cmd Command, onDone func(Completion)) (uint16, error) {
 	if r.Full() {
 		return 0, fmt.Errorf("nvme: SQ %d full", r.cfg.QID)
@@ -84,6 +86,8 @@ func (r *Ring) Submit(cmd Command, onDone func(Completion)) (uint16, error) {
 }
 
 // RingDoorbell posts the current SQ tail to the device.
+//
+//dcslint:hotpath
 func (r *Ring) RingDoorbell() {
 	r.fab.PostedWrite(r.cfg.SQDoorbell, uint64(r.sqTail))
 }
@@ -92,6 +96,8 @@ func (r *Ring) RingDoorbell() {
 // expected phase, invokes the registered callbacks, advances the CQ
 // head, and rings the CQ head doorbell. It returns the number of
 // completions consumed. Safe to call from a write hook or IRQ path.
+//
+//dcslint:hotpath
 func (r *Ring) ProcessCompletions() int {
 	n := 0
 	var raw [CompletionSize]byte
@@ -113,6 +119,7 @@ func (r *Ring) ProcessCompletions() int {
 		}
 		n++
 		if cb != nil {
+			//dcslint:allow noalloc completion callback supplied at Submit; benched paths install non-capturing handlers
 			cb(cpl)
 		}
 	}

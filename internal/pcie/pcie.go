@@ -373,6 +373,8 @@ func (f *Fabric) RecycleAsyncSignal(sig *sim.Signal) {
 
 // MustDMA is DMA that panics on policy errors; device models use it on
 // paths that were validated at configuration time.
+//
+//dcslint:hotpath pcie_dma_4k
 func (f *Fabric) MustDMA(p *sim.Proc, initiator *Port, dst, src mem.Addr, n int) {
 	if err := f.DMA(p, initiator, dst, src, n); err != nil {
 		panic(err)
@@ -410,6 +412,8 @@ func (f *Fabric) DMAVec(p *sim.Proc, initiator *Port, base mem.Addr, exts []mem.
 }
 
 // MustDMAVec is DMAVec that panics on policy errors.
+//
+//dcslint:hotpath hdc_gather_8x512
 func (f *Fabric) MustDMAVec(p *sim.Proc, initiator *Port, base mem.Addr, exts []mem.Extent, gather bool) {
 	if err := f.DMAVec(p, initiator, base, exts, gather); err != nil {
 		panic(err)
@@ -737,7 +741,9 @@ func (f *Fabric) PostedWrite(addr mem.Addr, val uint64) {
 		pw = f.pwFree[k-1]
 		f.pwFree = f.pwFree[:k-1]
 	} else {
+		//dcslint:allow noalloc pool-miss arm: each postedWrite and its bound deliver are created once, then free-listed
 		pw = &postedWrite{f: f}
+		//dcslint:allow noalloc see above: one-time per pooled object, reused forever after
 		pw.fn = pw.deliver
 	}
 	pw.addr, pw.val = addr, val

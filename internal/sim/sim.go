@@ -185,6 +185,8 @@ func (e *Env) Live() int { return e.live }
 // Schedule runs fn after delay d. fn executes on whichever goroutine
 // holds the dispatch role and must not block; to run blocking logic,
 // have fn wake a process or spawn one.
+//
+//dcslint:hotpath
 func (e *Env) Schedule(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -202,6 +204,7 @@ func (e *Env) enqueue(t Time, ev event) {
 	ev.at = t
 	ev.seq = e.seq
 	if t == e.now {
+		//dcslint:allow noalloc same-instant FIFO lane keeps its capacity; steady state is 0 allocs/event (BENCH_kernel)
 		e.fifo = append(e.fifo, ev)
 		return
 	}
@@ -326,6 +329,8 @@ const maxChainDepth = 1 << 16
 // other observable effect) — otherwise inline execution could reorder
 // observable work relative to the unfused schedule. With fusion off, or
 // when same-instant work is already queued, fn is enqueued normally.
+//
+//dcslint:hotpath
 func (e *Env) Chain(fn func()) {
 	if e.fuse && !e.pendingNow() {
 		e.fused++
@@ -333,6 +338,7 @@ func (e *Env) Chain(fn func()) {
 		if e.chainDepth > maxChainDepth {
 			panic("sim: Chain recursion exceeded maxChainDepth (unbounded same-instant recursion?)")
 		}
+		//dcslint:allow noalloc fused continuation invoked inline; its allocation behaviour is judged at its creation site
 		fn()
 		e.chainDepth--
 		return
@@ -406,6 +412,7 @@ func (e *Env) dispatchFrom(self *Proc) {
 			<-self.resume
 			return
 		}
+		//dcslint:allow noalloc kernel event dispatch; scheduled fns are judged at their creation sites
 		ev.fn()
 	}
 }
@@ -478,6 +485,8 @@ func (e *Env) wake(p *Proc) {
 }
 
 // Sleep advances the process by d of simulated time.
+//
+//dcslint:hotpath
 func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v in %s", d, p.name))
@@ -496,6 +505,8 @@ func (p *Proc) Sleep(d Time) {
 // entirely: the unfused schedule would pop our own resume straight back
 // (dispatchFrom's proc == self case), so returning immediately is
 // schedule-identical.
+//
+//dcslint:hotpath
 func (p *Proc) Yield() {
 	e := p.env
 	if e.fuse && !e.pendingNow() {
