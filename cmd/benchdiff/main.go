@@ -15,6 +15,14 @@
 //     the knob-not-dead gate for the wire fast path. A silently dead
 //     fast path would also trip the events gate, but this one names
 //     the cause instead of the symptom, and
+//   - handoffs-per-event (the goroutine park/resume tax the handler-
+//     proc conversion exists to kill) more than 10% above the baseline
+//     — the counter is deterministic, so growth means converted loops
+//     regressed to goroutine dispatch (HANDOFF), and
+//   - the handler-dispatch knob going dead: a fresh kernel report's
+//     kernel_park_resume_handler entry must actually dispatch handlers
+//     with zero handoffs and beat the goroutine flavor's ns/event by
+//     the ≥25% the conversion promises (NOHANDLER), and
 //   - rack entries (the sharded parallel kernel): a fresh multi-domain
 //     multi-worker rack whose par_windows is zero ran silently serial
 //     (NOPAR — the parallel knob went dead), and rack entries for the
@@ -64,6 +72,10 @@ type metric struct {
 	zeroed    bool // baseline promises zero allocs on this path
 	soft      bool // informational only (whole-run wall clocks): never fails
 
+	handoffs   float64 // goroutine park/resume handoffs (deterministic)
+	hdispatch  float64 // run-to-completion handler dispatches
+	handoffsPE float64 // handoffs per event; 0 = absent
+
 	rack        bool // entry is a sharded rack measurement
 	domains     int
 	workers     int
@@ -76,14 +88,18 @@ type metric struct {
 const eventTolerance = 0.10
 
 type kernelStats struct {
-	NsPerEvent     float64 `json:"ns_per_event"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
+	NsPerEvent        float64 `json:"ns_per_event"`
+	AllocsPerEvent    float64 `json:"allocs_per_event"`
+	Handoffs          float64 `json:"handoffs"`
+	HandlerDispatches float64 `json:"handler_dispatches"`
+	HandoffsPerEvent  float64 `json:"handoffs_per_event"`
 }
 
 type kernelReport struct {
-	KernelSchedule   *kernelStats `json:"kernel_schedule"`
-	KernelParkResume *kernelStats `json:"kernel_park_resume"`
-	Protocol         []struct {
+	KernelSchedule          *kernelStats `json:"kernel_schedule"`
+	KernelParkResume        *kernelStats `json:"kernel_park_resume"`
+	KernelParkResumeHandler *kernelStats `json:"kernel_park_resume_handler"`
+	Protocol                []struct {
 		Name        string  `json:"name"`
 		EventsPerIO float64 `json:"events_per_io"`
 	} `json:"protocol"`
@@ -92,13 +108,16 @@ type kernelReport struct {
 		WallMs float64 `json:"wall_ms"`
 	} `json:"figures"`
 	Racks []struct {
-		Name          string  `json:"name"`
-		Domains       int     `json:"domains"`
-		Workers       int     `json:"workers"`
-		NsPerFlow     float64 `json:"ns_per_flow"`
-		EventsPerFlow float64 `json:"events_per_flow"`
-		ParWindows    float64 `json:"par_windows"`
-		Fingerprint   string  `json:"fingerprint"`
+		Name              string  `json:"name"`
+		Domains           int     `json:"domains"`
+		Workers           int     `json:"workers"`
+		NsPerFlow         float64 `json:"ns_per_flow"`
+		EventsPerFlow     float64 `json:"events_per_flow"`
+		ParWindows        float64 `json:"par_windows"`
+		Handoffs          float64 `json:"handoffs"`
+		HandlerDispatches float64 `json:"handler_dispatches"`
+		HandoffsPerEvent  float64 `json:"handoffs_per_event"`
+		Fingerprint       string  `json:"fingerprint"`
 	} `json:"racks"`
 }
 
@@ -139,11 +158,18 @@ func load(path string) (map[string]metric, error) {
 	if kr.KernelSchedule == nil && kr.KernelParkResume == nil {
 		return nil, fmt.Errorf("%s: neither a dataplane nor a kernel report", path)
 	}
+	kernelMetric := func(s *kernelStats) metric {
+		return metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true,
+			handoffs: s.Handoffs, hdispatch: s.HandlerDispatches, handoffsPE: s.HandoffsPerEvent}
+	}
 	if s := kr.KernelSchedule; s != nil {
-		out["kernel_schedule"] = metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true}
+		out["kernel_schedule"] = kernelMetric(s)
 	}
 	if s := kr.KernelParkResume; s != nil {
-		out["kernel_park_resume"] = metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true}
+		out["kernel_park_resume"] = kernelMetric(s)
+	}
+	if s := kr.KernelParkResumeHandler; s != nil {
+		out["kernel_park_resume_handler"] = kernelMetric(s)
 	}
 	for _, pr := range kr.Protocol {
 		out["protocol:"+pr.Name] = metric{events: pr.EventsPerIO}
@@ -162,6 +188,8 @@ func load(path string) (map[string]metric, error) {
 			ns: r.NsPerFlow, hasNs: true, events: r.EventsPerFlow,
 			rack: true, domains: r.Domains, workers: r.Workers,
 			parWindows: r.ParWindows, fingerprint: r.Fingerprint,
+			handoffs: r.Handoffs, hdispatch: r.HandlerDispatches,
+			handoffsPE: r.HandoffsPerEvent,
 		}
 	}
 	return out, nil
@@ -200,6 +228,34 @@ func checkRackFingerprints(label string, m map[string]metric) []string {
 		}
 	}
 	sort.Strings(bad)
+	return bad
+}
+
+// checkHandlerKnob verifies the run-to-completion dispatch path is
+// alive in the fresh kernel report: kernel_park_resume_handler must
+// actually dispatch handlers, complete them without a single
+// goroutine handoff, and beat the goroutine flavor's ns/event by at
+// least the 25% the conversion promises. All three counters are
+// deterministic (and the ns margin is ~15x in practice), so this is a
+// hard gate; reports without the entry (dataplane, partial
+// regenerations) pass untouched.
+func checkHandlerKnob(cur map[string]metric) []string {
+	h, ok := cur["kernel_park_resume_handler"]
+	if !ok {
+		return nil
+	}
+	var bad []string
+	if h.hdispatch == 0 {
+		bad = append(bad, "NOHANDLER kernel_park_resume_handler: zero handler dispatches (knob dead)")
+	}
+	if h.handoffs > 0 {
+		bad = append(bad, fmt.Sprintf(
+			"NOHANDLER kernel_park_resume_handler: %g goroutine handoffs in handler mode (run-to-completion broken)", h.handoffs))
+	}
+	if g, ok := cur["kernel_park_resume"]; ok && g.ns > 0 && h.ns > 0.75*g.ns {
+		bad = append(bad, fmt.Sprintf(
+			"NOHANDLER kernel_park_resume_handler: %.2f ns/event is not >=25%% under goroutine %.2f (handoff tax not killed)", h.ns, g.ns))
+	}
 	return bad
 }
 
@@ -312,6 +368,13 @@ func main() {
 			status = "EVENTS"
 			failed = true
 		}
+		// Handoffs are deterministic like event counts, so growth past
+		// the same hard ceiling means simulated loops fell off the
+		// run-to-completion path back onto goroutine park/resume.
+		if b.handoffsPE > 0 && c.handoffsPE > b.handoffsPE*(1+eventTolerance) {
+			status = "HANDOFF"
+			failed = true
+		}
 		if b.segFrames > 0 && c.segFrames == 0 {
 			status = "NOSEG" // flow fast path went dead on this bench
 			failed = true
@@ -349,6 +412,10 @@ func main() {
 			fmt.Println(f)
 			failed = true
 		}
+	}
+	for _, f := range checkHandlerKnob(cur) {
+		fmt.Println(f)
+		failed = true
 	}
 	if *hotpaths != "" {
 		for _, f := range checkHotpaths(base, *hotpaths) {

@@ -1,0 +1,105 @@
+// Handler-proc equivalence suite: run-to-completion handler dispatch
+// (sim.SetDefaultHandlerProcs) is a pure execution-strategy change —
+// the same events at the same instants with the same seq tie-breaking,
+// minus the goroutine park/resume handoffs. Every observable of a run
+// must therefore be byte-identical with the knob on or off, across
+// fusion, wire fidelity, shard decomposition, and the seed matrix. CI
+// runs this file under -race: handler bodies execute inline on the
+// dispatcher, so the detector must stay as silent as it is for the
+// goroutine flavor.
+package dcsctrl_test
+
+import (
+	"testing"
+
+	"dcsctrl/internal/bench"
+	"dcsctrl/internal/sim"
+)
+
+// withHandlerProcs runs fn with handler-proc dispatch forced on or
+// off, restoring the previous default afterwards.
+func withHandlerProcs(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prev := sim.DefaultHandlerProcs()
+	sim.SetDefaultHandlerProcs(on)
+	defer sim.SetDefaultHandlerProcs(prev)
+	fn()
+}
+
+// TestHandlerEquivRack pins knob invariance across shard
+// decompositions: for every seed and domain count, the handler-mode
+// rack must reproduce the goroutine-mode fingerprint, makespan, and
+// event count exactly — and the knob must be demonstrably alive
+// (handler mode dispatches handlers and parks less; goroutine mode
+// dispatches none).
+func TestHandlerEquivRack(t *testing.T) {
+	seeds := equivSeeds
+	domainCounts := []int{1, 2, 4}
+	if testing.Short() {
+		seeds = seeds[:1]
+		domainCounts = []int{2}
+	}
+	for _, seed := range seeds {
+		for _, domains := range domainCounts {
+			cfg := bench.RackConfig{Nodes: 8, Domains: domains, Bytes: 4 << 10, Seed: seed}
+			var ref, res bench.RackResult
+			withHandlerProcs(t, false, func() { ref = bench.RunRack(cfg) })
+			withHandlerProcs(t, true, func() { res = bench.RunRack(cfg) })
+			if got, want := res.Fingerprint(), ref.Fingerprint(); got != want {
+				t.Fatalf("seed %d domains %d: handler fingerprint %s != goroutine %s", seed, domains, got, want)
+			}
+			if res.Makespan != ref.Makespan {
+				t.Fatalf("seed %d domains %d: handler makespan %v != %v", seed, domains, res.Makespan, ref.Makespan)
+			}
+			if res.Events != ref.Events {
+				t.Fatalf("seed %d domains %d: handler events %d != %d", seed, domains, res.Events, ref.Events)
+			}
+			if ref.ShardStats.HandlerDispatches != 0 {
+				t.Fatalf("seed %d domains %d: goroutine mode dispatched %d handlers (knob leak)",
+					seed, domains, ref.ShardStats.HandlerDispatches)
+			}
+			if res.ShardStats.HandlerDispatches == 0 {
+				t.Fatalf("seed %d domains %d: handler mode dispatched no handlers (knob dead)", seed, domains)
+			}
+			if res.ShardStats.Handoffs >= ref.ShardStats.Handoffs {
+				t.Fatalf("seed %d domains %d: handler mode handoffs %d not below goroutine %d (conversion dead)",
+					seed, domains, res.ShardStats.Handoffs, ref.ShardStats.Handoffs)
+			}
+		}
+	}
+}
+
+// TestHandlerEquivMatrix crosses the knob with the other two kernel
+// fast paths — continuation fusion and the flow-level wire model —
+// over the seed matrix. All three are schedule-preserving, so every
+// cell must reproduce the per-seed reference fingerprint (goroutine
+// dispatch, fusion on, flow wire) byte-for-byte.
+func TestHandlerEquivMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full knob × fusion × fidelity × seed matrix")
+	}
+	for _, seed := range equivSeeds {
+		cfg := bench.RackConfig{Nodes: 8, Domains: 2, Bytes: 4 << 10, Seed: seed}
+		var ref bench.RackResult
+		withHandlerProcs(t, false, func() { ref = bench.RunRack(cfg) })
+		refFP := ref.Fingerprint()
+		for _, handler := range []bool{false, true} {
+			for _, fusion := range []bool{true, false} {
+				for _, wire := range []sim.WireFidelity{sim.WireFlow, sim.WireFrame} {
+					withHandlerProcs(t, handler, func() {
+						withFusion(t, fusion, func() {
+							prev := sim.DefaultWireFidelity()
+							sim.SetDefaultWireFidelity(wire)
+							defer sim.SetDefaultWireFidelity(prev)
+							res := bench.RunRack(cfg)
+							if fp := res.Fingerprint(); fp != refFP {
+								t.Fatalf("seed %d handler=%v fusion=%v wire=%v: fingerprint %s != reference %s",
+									seed, handler, fusion, wire, fp, refFP)
+							}
+						})
+					})
+				}
+			}
+		}
+	}
+}

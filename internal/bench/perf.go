@@ -16,14 +16,21 @@ import (
 // machine-readable perf trajectory behind: if ns/event or allocs/event
 // regress, the next session sees it in the artifact diff.
 
-// KernelStats is one kernel microbenchmark measurement.
+// KernelStats is one kernel microbenchmark measurement. The dispatch
+// counters (parks, handoffs, handler dispatches) make the park/resume
+// handoff tax a first-class measured quantity: HandoffsPerEvent is
+// what benchdiff's regression gate watches.
 type KernelStats struct {
-	Events         uint64  `json:"events"`
-	WallNs         int64   `json:"wall_ns"`
-	NsPerEvent     float64 `json:"ns_per_event"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	BytesPerEvent  float64 `json:"bytes_per_event"`
+	Events            uint64  `json:"events"`
+	WallNs            int64   `json:"wall_ns"`
+	NsPerEvent        float64 `json:"ns_per_event"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	AllocsPerEvent    float64 `json:"allocs_per_event"`
+	BytesPerEvent     float64 `json:"bytes_per_event"`
+	Parks             uint64  `json:"parks"`
+	Handoffs          uint64  `json:"handoffs"`
+	HandlerDispatches uint64  `json:"handler_dispatches"`
+	HandoffsPerEvent  float64 `json:"handoffs_per_event"`
 }
 
 // measureKernel runs fn (which must dispatch through env) and derives
@@ -37,12 +44,15 @@ func measureKernel(env *sim.Env, fn func()) KernelStats {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	events := env.Steps()
-	st := KernelStats{Events: events, WallNs: wall.Nanoseconds()}
+	es := env.Stats()
+	st := KernelStats{Events: events, WallNs: wall.Nanoseconds(),
+		Parks: es.Parks, Handoffs: es.Handoffs, HandlerDispatches: es.HandlerDispatches}
 	if events > 0 {
 		st.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
 		st.EventsPerSec = float64(events) / wall.Seconds()
 		st.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
 		st.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(events)
+		st.HandoffsPerEvent = float64(es.Handoffs) / float64(events)
 	}
 	return st
 }
@@ -73,6 +83,27 @@ func MeasureKernelParkResume(n int) KernelStats {
 			for i := 0; i < n/2; i++ {
 				p.Yield()
 			}
+		})
+	}
+	return measureKernel(env, func() { env.Run(-1) })
+}
+
+// MeasureKernelParkResumeHandler is the same ping-pong workload as
+// MeasureKernelParkResume expressed as handler procs: each Yield
+// becomes a same-instant Rearm, so the event count matches and the
+// wall-clock delta is pure dispatch-flavor cost — the handoff tax the
+// handler kernel eliminates (DESIGN.md §16).
+func MeasureKernelParkResumeHandler(n int) KernelStats {
+	env := sim.NewEnv()
+	for k := 0; k < 2; k++ {
+		i := 0
+		env.SpawnHandler("pp", func(h *sim.HandlerCtx) {
+			if i >= n/2 {
+				h.Exit()
+				return
+			}
+			i++
+			h.Rearm(0)
 		})
 	}
 	return measureKernel(env, func() { env.Run(-1) })
@@ -148,21 +179,25 @@ type SweepComparison struct {
 // same workload must carry the same fingerprint no matter its domain
 // or worker count.
 type RackPerf struct {
-	Name          string  `json:"name"`
-	Nodes         int     `json:"nodes"`
-	Domains       int     `json:"domains"`
-	Workers       int     `json:"workers"`
-	Flows         int     `json:"flows"`
-	WallMs        float64 `json:"wall_ms"`
-	NsPerFlow     float64 `json:"ns_per_flow"`
-	Events        uint64  `json:"events"`
-	EventsPerFlow float64 `json:"events_per_flow"`
-	Windows       uint64  `json:"windows"`
-	ParWindows    uint64  `json:"par_windows"`
-	CrossFrames   uint64  `json:"cross_frames"`
-	MakespanNs    int64   `json:"makespan_ns"`
-	Fingerprint   string  `json:"fingerprint"`
-	SpeedupVs1    float64 `json:"speedup_vs_1,omitempty"`
+	Name              string  `json:"name"`
+	Nodes             int     `json:"nodes"`
+	Domains           int     `json:"domains"`
+	Workers           int     `json:"workers"`
+	Flows             int     `json:"flows"`
+	WallMs            float64 `json:"wall_ms"`
+	NsPerFlow         float64 `json:"ns_per_flow"`
+	Events            uint64  `json:"events"`
+	EventsPerFlow     float64 `json:"events_per_flow"`
+	Windows           uint64  `json:"windows"`
+	ParWindows        uint64  `json:"par_windows"`
+	CrossFrames       uint64  `json:"cross_frames"`
+	Parks             uint64  `json:"parks"`
+	Handoffs          uint64  `json:"handoffs"`
+	HandlerDispatches uint64  `json:"handler_dispatches"`
+	HandoffsPerEvent  float64 `json:"handoffs_per_event"`
+	MakespanNs        int64   `json:"makespan_ns"`
+	Fingerprint       string  `json:"fingerprint"`
+	SpeedupVs1        float64 `json:"speedup_vs_1,omitempty"`
 }
 
 // PerfReport is the BENCH_kernel.json payload.
@@ -172,12 +207,13 @@ type PerfReport struct {
 	Workers    int    `json:"workers"`
 	GoVersion  string `json:"go_version"`
 
-	KernelSchedule   KernelStats      `json:"kernel_schedule"`
-	KernelParkResume KernelStats      `json:"kernel_park_resume"`
-	Protocol         []ProtocolStats  `json:"protocol,omitempty"`
-	Figures          []FigureTiming   `json:"figures,omitempty"`
-	Sweep            *SweepComparison `json:"sweep,omitempty"`
-	Racks            []RackPerf       `json:"racks,omitempty"`
+	KernelSchedule          KernelStats      `json:"kernel_schedule"`
+	KernelParkResume        KernelStats      `json:"kernel_park_resume"`
+	KernelParkResumeHandler KernelStats      `json:"kernel_park_resume_handler"`
+	Protocol                []ProtocolStats  `json:"protocol,omitempty"`
+	Figures                 []FigureTiming   `json:"figures,omitempty"`
+	Sweep                   *SweepComparison `json:"sweep,omitempty"`
+	Racks                   []RackPerf       `json:"racks,omitempty"`
 }
 
 // NewPerfReport runs the kernel microbenchmarks and returns a report
@@ -185,12 +221,13 @@ type PerfReport struct {
 func NewPerfReport(workers int) *PerfReport {
 	const events = 1 << 20
 	return &PerfReport{
-		GoMaxProcs:       runtime.GOMAXPROCS(0),
-		NumCPU:           runtime.NumCPU(),
-		Workers:          workers,
-		GoVersion:        runtime.Version(),
-		KernelSchedule:   MeasureKernelSchedule(events),
-		KernelParkResume: MeasureKernelParkResume(events),
+		GoMaxProcs:              runtime.GOMAXPROCS(0),
+		NumCPU:                  runtime.NumCPU(),
+		Workers:                 workers,
+		GoVersion:               runtime.Version(),
+		KernelSchedule:          MeasureKernelSchedule(events),
+		KernelParkResume:        MeasureKernelParkResume(events),
+		KernelParkResumeHandler: MeasureKernelParkResumeHandler(events),
 	}
 }
 
@@ -249,22 +286,28 @@ func (r *PerfReport) CompareSweep(workers int) {
 func rackPerfFrom(res RackResult) RackPerf {
 	st := res.ShardStats
 	rp := RackPerf{
-		Name:        fmt.Sprintf("rack_%s_%dx%d", res.Config.Pattern, res.Config.Nodes, st.Domains),
-		Nodes:       res.Config.Nodes,
-		Domains:     st.Domains,
-		Workers:     st.Workers,
-		Flows:       res.Flows,
-		WallMs:      res.WallSeconds * 1e3,
-		Events:      res.Events,
-		Windows:     st.Windows,
-		ParWindows:  st.ParWindows,
-		CrossFrames: st.CrossFrames,
-		MakespanNs:  int64(res.Makespan),
-		Fingerprint: res.Fingerprint(),
+		Name:              fmt.Sprintf("rack_%s_%dx%d", res.Config.Pattern, res.Config.Nodes, st.Domains),
+		Nodes:             res.Config.Nodes,
+		Domains:           st.Domains,
+		Workers:           st.Workers,
+		Flows:             res.Flows,
+		WallMs:            res.WallSeconds * 1e3,
+		Events:            res.Events,
+		Windows:           st.Windows,
+		ParWindows:        st.ParWindows,
+		CrossFrames:       st.CrossFrames,
+		Parks:             st.Parks,
+		Handoffs:          st.Handoffs,
+		HandlerDispatches: st.HandlerDispatches,
+		MakespanNs:        int64(res.Makespan),
+		Fingerprint:       res.Fingerprint(),
 	}
 	if res.Flows > 0 {
 		rp.NsPerFlow = res.WallSeconds * 1e9 / float64(res.Flows)
 		rp.EventsPerFlow = float64(res.Events) / float64(res.Flows)
+	}
+	if res.Events > 0 {
+		rp.HandoffsPerEvent = float64(st.Handoffs) / float64(res.Events)
 	}
 	return rp
 }

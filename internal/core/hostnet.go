@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dcsctrl/internal/ether"
+	"dcsctrl/internal/hostos"
 	"dcsctrl/internal/mem"
 	"dcsctrl/internal/nic"
 	"dcsctrl/internal/sim"
@@ -33,17 +34,81 @@ func (n *Node) lookupConnByTuple(t ether.Tuple) *hostConn {
 	return n.connsRx[t]
 }
 
+// rxSeg is one parsed in-order segment awaiting stream delivery.
+type rxSeg struct {
+	c       *hostConn
+	payload []byte // view into the frame buffer, valid until repost
+}
+
+// netRxCost returns the NAPI-style batch charge for a poll of k
+// frames: per-frame stack cost is uniform, so one core occupancy
+// covers the batch. Totals charged to the accountant are unchanged,
+// and readers only observe the batch after the delivery broadcast
+// either way.
+func (n *Node) netRxCost(k int) sim.Time {
+	hp := n.Params.Host
+	cost := sim.Time(k) * hp.SockPerSeg
+	if n.Kind == Vanilla {
+		cost += sim.Time(k) * hp.SockBufOp
+	}
+	return cost
+}
+
+// deliverNetRx is the charge-free tail of one receive poll: parse,
+// reassemble connection streams, wake readers, repost buffers. Shared
+// by the goroutine and handler flavors of the receive service so the
+// two stay byte-identical. segs is caller-owned scratch, returned for
+// reuse.
+func (n *Node) deliverNetRx(recv *nic.RecvRing, fills []nic.Filled, segs []rxSeg) []rxSeg {
+	segs = segs[:0]
+	for _, f := range fills {
+		// View: the payload is copied into c.stream before the
+		// buffer is reposted by postRecvBuffers below.
+		frame := n.MM.View(f.Addr, int(f.Cpl.HdrLen)+int(f.Cpl.PayLen))
+		seg, err := ether.ParseView(frame)
+		if err != nil {
+			continue // corrupt frame: dropped by checksum
+		}
+		c := n.lookupConnByTuple(seg.Flow.Tuple())
+		if c == nil {
+			continue
+		}
+		if seg.Seq != c.rxSeq {
+			panic(fmt.Sprintf("core: out-of-order seq %d (want %d) on conn %d at %s",
+				seg.Seq, c.rxSeq, c.id, n.Name))
+		}
+		c.rxSeq += uint32(len(seg.Payload))
+		segs = append(segs, rxSeg{c, seg.Payload})
+	}
+	// Segment-granularity delivery: a poll batch of a bulk stream is
+	// a run of contiguous frames for one connection (the flow fast
+	// path delivers whole segments this way). Reserve each run's
+	// bytes at once so reassembly compacts/grows per run, not per
+	// frame. Purely a data-structure change — stream contents,
+	// rxSeq advancement, and all charged costs are unchanged.
+	for i := 0; i < len(segs); {
+		j, runBytes := i, 0
+		for ; j < len(segs) && segs[j].c == segs[i].c; j++ {
+			runBytes += len(segs[j].payload)
+		}
+		segs[i].c.reserveStream(runBytes)
+		c := segs[i].c
+		for ; i < j; i++ {
+			segs[i].c.pushStream(segs[i].payload)
+		}
+		// Wake only this connection's readers, once per run.
+		c.avail.Broadcast()
+	}
+	n.postRecvBuffers(recv)
+	return segs
+}
+
 // netRxLoop is the host receive service (softirq/NAPI analogue): it
 // drains NIC completions, charges per-frame network-stack cost,
 // reassembles connection streams, and reposts buffers.
 func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
-	hp := n.Params.Host
 	var fills []nic.Filled // scratch, reused across wakes
-	type rxSeg struct {
-		c       *hostConn
-		payload []byte // view into the frame buffer, valid until repost
-	}
-	var segs []rxSeg // scratch, reused across wakes
+	var segs []rxSeg       // scratch, reused across wakes
 	for {
 		fills = recv.AppendPoll(fills[:0])
 		if len(fills) == 0 {
@@ -54,55 +119,55 @@ func (n *Node) netRxLoop(p *sim.Proc, recv *nic.RecvRing) {
 			n.rxWake.Wait(p)
 			continue
 		}
-		// NAPI-style batch charge: per-frame stack cost is uniform, so
-		// one core occupancy covers the poll batch. Totals charged to
-		// the accountant are unchanged, and readers only observe the
-		// batch after the broadcast below either way.
-		cost := sim.Time(len(fills)) * hp.SockPerSeg
-		if n.Kind == Vanilla {
-			cost += sim.Time(len(fills)) * hp.SockBufOp
+		n.Host.Exec(p, trace.CatNetStack, n.netRxCost(len(fills)), nil)
+		segs = n.deliverNetRx(recv, fills, segs)
+	}
+}
+
+// netRxState enumerates where the handler receive service resumes.
+type netRxState int
+
+const (
+	nrPoll netRxState = iota // poll the ring (or park on the wake cond)
+	nrExec                   // batch stack charge in progress
+)
+
+// netRxMachine is the handler flavor of netRxLoop: the same poll /
+// arm-and-wait / charge / deliver cycle as a run-to-completion state
+// machine (DESIGN.md §16).
+type netRxMachine struct {
+	n     *Node
+	recv  *nic.RecvRing
+	st    netRxState
+	fills []nic.Filled
+	segs  []rxSeg
+	exec  hostos.ExecH
+}
+
+// run is the machine's handler body.
+func (m *netRxMachine) run(h *sim.HandlerCtx) {
+	n := m.n
+	for {
+		switch m.st {
+		case nrPoll:
+			m.fills = m.recv.AppendPoll(m.fills[:0])
+			if len(m.fills) == 0 {
+				// Re-arm then enroll, closing the same re-enable race as
+				// the goroutine's Arm-before-Wait; every broadcast
+				// redispatches here and re-polls.
+				m.recv.Arm()
+				n.rxWake.WaitH(h)
+				return
+			}
+			m.exec.Start(n.Host, trace.CatNetStack, n.netRxCost(len(m.fills)), nil)
+			m.st = nrExec
+		case nrExec:
+			if !m.exec.Step(h) {
+				return
+			}
+			m.segs = n.deliverNetRx(m.recv, m.fills, m.segs)
+			m.st = nrPoll
 		}
-		n.Host.Exec(p, trace.CatNetStack, cost, nil)
-		segs = segs[:0]
-		for _, f := range fills {
-			// View: the payload is copied into c.stream before the
-			// buffer is reposted by postRecvBuffers below.
-			frame := n.MM.View(f.Addr, int(f.Cpl.HdrLen)+int(f.Cpl.PayLen))
-			seg, err := ether.ParseView(frame)
-			if err != nil {
-				continue // corrupt frame: dropped by checksum
-			}
-			c := n.lookupConnByTuple(seg.Flow.Tuple())
-			if c == nil {
-				continue
-			}
-			if seg.Seq != c.rxSeq {
-				panic(fmt.Sprintf("core: out-of-order seq %d (want %d) on conn %d at %s",
-					seg.Seq, c.rxSeq, c.id, n.Name))
-			}
-			c.rxSeq += uint32(len(seg.Payload))
-			segs = append(segs, rxSeg{c, seg.Payload})
-		}
-		// Segment-granularity delivery: a poll batch of a bulk stream is
-		// a run of contiguous frames for one connection (the flow fast
-		// path delivers whole segments this way). Reserve each run's
-		// bytes at once so reassembly compacts/grows per run, not per
-		// frame. Purely a data-structure change — stream contents,
-		// rxSeq advancement, and all charged costs are unchanged.
-		for i := 0; i < len(segs); {
-			j, runBytes := i, 0
-			for ; j < len(segs) && segs[j].c == segs[i].c; j++ {
-				runBytes += len(segs[j].payload)
-			}
-			segs[i].c.reserveStream(runBytes)
-			c := segs[i].c
-			for ; i < j; i++ {
-				segs[i].c.pushStream(segs[i].payload)
-			}
-			// Wake only this connection's readers, once per run.
-			c.avail.Broadcast()
-		}
-		n.postRecvBuffers(recv)
 	}
 }
 

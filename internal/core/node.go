@@ -358,7 +358,11 @@ func (n *Node) setupHostNIC() {
 				n.rxWake.Broadcast()
 			})
 		})
-		n.Env.Spawn(fmt.Sprintf("%s-net-rx%d", n.Name, q), func(p *sim.Proc) { n.netRxLoop(p, recv) })
+		if n.Env.HandlerProcs() {
+			n.Env.SpawnHandler(fmt.Sprintf("%s-net-rx%d", n.Name, q), (&netRxMachine{n: n, recv: recv}).run)
+		} else {
+			n.Env.Spawn(fmt.Sprintf("%s-net-rx%d", n.Name, q), func(p *sim.Proc) { n.netRxLoop(p, recv) })
+		}
 		n.postRecvBuffers(recv)
 		recv.Arm()
 	}

@@ -121,6 +121,74 @@ func (h *Host) Exec(p *sim.Proc, cat trace.Category, d sim.Time, bd *trace.Break
 	}
 }
 
+// execHState enumerates where an ExecH resumes.
+type execHState int
+
+const (
+	execIdle execHState = iota // nothing staged (or a zero-cost Exec)
+	execAcq                    // acquiring a core
+	execHold                   // core occupancy elapsing
+)
+
+// ExecH is the handler-proc replay of Exec (DESIGN.md §16): acquire a
+// core, advance time, release, charge — staged across dispatches so a
+// run-to-completion handler never parks. Start stages the charge, then
+// the owner calls Step until it reports true; a zero-or-negative cost
+// completes inline, exactly like Exec's early return. The zero value
+// is idle and reusable, so one machine per owner serves any number of
+// sequential charges without allocating.
+type ExecH struct {
+	host *Host
+	cat  trace.Category
+	d    sim.Time
+	bd   *trace.Breakdown
+	tick sim.ResTicket
+	st   execHState
+}
+
+// Start stages one core charge. Panics if a charge is in flight.
+func (x *ExecH) Start(host *Host, cat trace.Category, d sim.Time, bd *trace.Breakdown) {
+	if x.st != execIdle {
+		panic("hostos: ExecH started while a charge is in flight")
+	}
+	if d <= 0 {
+		return // mirrors Exec: no core, no charge, no event
+	}
+	x.host, x.cat, x.d, x.bd = host, cat, d, bd
+	x.st = execAcq
+}
+
+// Active reports whether a charge is staged or in flight.
+func (x *ExecH) Active() bool { return x.st != execIdle }
+
+// Step advances the charge and reports whether it completed. On false
+// the handler body must return: the machine enrolled on the core pool
+// or re-armed for its occupancy and resumes on the next dispatch.
+func (x *ExecH) Step(h *sim.HandlerCtx) bool {
+	switch x.st {
+	case execIdle:
+		return true // zero-cost charge: completed at Start
+	case execAcq:
+		if !x.host.Cores.AcquireH(h, &x.tick) {
+			return false
+		}
+		x.st = execHold
+		h.Rearm(x.d)
+		return false
+	case execHold:
+		x.host.Cores.Release()
+		x.host.Acct.Charge(x.cat, x.d)
+		if x.bd != nil {
+			x.bd.Add(x.cat, x.d)
+		}
+		x.st = execIdle
+		x.host, x.bd = nil, nil
+		return true
+	default:
+		panic("hostos: ExecH in impossible state")
+	}
+}
+
 // RaiseIRQ enqueues interrupt work: IRQ overhead plus cost is charged
 // to cat on a core, then fn runs (non-blocking; typically fires a
 // signal that wakes a sleeping driver thread).

@@ -48,11 +48,26 @@ func Run(t *testing.T, a *lint.Analyzer, dir string) {
 
 // RunModule applies module analyzer ma to the single package rooted
 // at dir (treated as the whole module for facts purposes) and
-// compares diagnostics with // want expectations.
-func RunModule(t *testing.T, ma *lint.ModuleAnalyzer, dir string) {
+// compares diagnostics with // want expectations. deps name real
+// module packages (go list patterns) whose function bodies join the
+// facts set alongside the testdata package — interprocedural
+// analyzers like noblockhandler need the kernel's own bodies to
+// compute park-capable reachability. Deps are loaded before the
+// testdata package so both type-check against the same package
+// objects; a diagnostic landing in a dep fails the test.
+func RunModule(t *testing.T, ma *lint.ModuleAnalyzer, dir string, deps ...string) {
 	t.Helper()
+	loaderOnce.Do(func() { sharedLoader = lint.NewLoader("") })
+	var extra []*lint.Package
+	if len(deps) > 0 {
+		var err error
+		extra, err = sharedLoader.Load(deps...)
+		if err != nil {
+			t.Fatalf("loading deps %v: %v", deps, err)
+		}
+	}
 	check(t, dir, func(pkg *lint.Package) []lint.Finding {
-		return lint.ApplyModule(ma, pkg)
+		return lint.ApplyModule(ma, append([]*lint.Package{pkg}, extra...)...)
 	})
 }
 

@@ -116,6 +116,7 @@ const (
 	CallbackHook                         // mem.Region.SetWriteHook
 	CallbackMSI                          // pcie.Fabric.OnMSI handler
 	CallbackSink                         // shard.Kernel.AddNode delivery sink
+	CallbackHandler                      // sim.Env.SpawnHandler handler body
 )
 
 func (k CallbackKind) String() string {
@@ -132,6 +133,8 @@ func (k CallbackKind) String() string {
 		return "pcie MSI handler"
 	case CallbackSink:
 		return "shard.Kernel.AddNode sink"
+	case CallbackHandler:
+		return "sim.Env.SpawnHandler handler body"
 	default:
 		return "kernel callback"
 	}
@@ -836,6 +839,8 @@ func (s *summarizer) callback(call *ast.CallExpr, fn *types.Func) {
 	switch {
 	case fn.Pkg().Path() == SimKernelPath && recvTypeName(fn) == "Env" && fn.Name() == "Spawn":
 		kind, argIdx = CallbackSpawn, 1
+	case fn.Pkg().Path() == SimKernelPath && recvTypeName(fn) == "Env" && fn.Name() == "SpawnHandler":
+		kind, argIdx = CallbackHandler, 1
 	case fn.Pkg().Path() == SimKernelPath && recvTypeName(fn) == "Env" && fn.Name() == "Schedule":
 		kind, argIdx = CallbackSchedule, 1
 	case fn.Pkg().Path() == SimKernelPath && recvTypeName(fn) == "Env" && fn.Name() == "Chain":

@@ -37,6 +37,14 @@ func TestShardSafe(t *testing.T) {
 	analysistest.RunModule(t, lint.ShardSafe, filepath.Join("testdata", "src", "shardsafe"))
 }
 
+func TestNoBlockHandler(t *testing.T) {
+	// The kernel package joins the facts set: park-capability is
+	// reverse reachability from (*sim.Proc).park, which needs the
+	// kernel's own bodies, not just its API surface.
+	analysistest.RunModule(t, lint.NoBlockHandler,
+		filepath.Join("testdata", "src", "noblockhandler"), "dcsctrl/internal/sim")
+}
+
 // TestRepoIsClean is the property CI enforces: the whole module passes
 // the suite with zero findings. A regression here means either new
 // code broke a determinism invariant or an analyzer grew a false

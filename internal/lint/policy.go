@@ -121,7 +121,7 @@ func Analyzers() []*Analyzer {
 // //dcslint:hotpath roots, shardsafe only from kernel-callback
 // registrations — so they have no Applies entry.
 func ModuleAnalyzers() []*ModuleAnalyzer {
-	return []*ModuleAnalyzer{NoAlloc, ShardSafe}
+	return []*ModuleAnalyzer{NoAlloc, ShardSafe, NoBlockHandler}
 }
 
 // byName returns the per-package analyzer with the given name, or nil.

@@ -1,0 +1,99 @@
+// noblockhandler cases: a handler proc (sim.Env.SpawnHandler) runs
+// inline on the dispatcher's goroutine, so its body must never reach
+// a park-capable API — waiting is expressed by enrolling on a
+// Signal/Cond edge or re-arming, never by blocking. The analyzer
+// proves this transitively over the module call graph and flags
+// unprovable dynamic calls conservatively.
+package noblockhandler
+
+import "dcsctrl/internal/sim"
+
+type machine struct {
+	env *sim.Env
+	sig *sim.Signal
+	q   *sim.Queue[int]
+	res *sim.Resource
+	p   *sim.Proc // a smuggled goroutine-proc handle: the bug under test
+	fn  func()
+}
+
+// Clean handler: waits by enrolling on kernel edges and re-arming.
+func spawnClean(env *sim.Env, sig *sim.Signal, q *sim.Queue[int]) {
+	m := &machine{env: env, sig: sig, q: q}
+	env.SpawnHandler("clean", m.runClean)
+}
+
+func (m *machine) runClean(h *sim.HandlerCtx) {
+	if !m.sig.WaitH(h) {
+		return
+	}
+	if v, ok := m.q.GetH(h); ok {
+		_ = v
+		h.Rearm(5)
+	}
+}
+
+// The seeded violation from the acceptance criteria: the handler body
+// parks directly through a blocking kernel API.
+func spawnDirect(env *sim.Env, res *sim.Resource) {
+	m := &machine{env: env, res: res}
+	env.SpawnHandler("direct", m.runDirect)
+}
+
+func (m *machine) runDirect(h *sim.HandlerCtx) {
+	m.res.Acquire(m.p) // want `handler proc \(\*noblockhandler\.machine\)\.runDirect reaches park-capable \(\*sim\.Resource\)\.Acquire`
+	m.res.Release()
+}
+
+// A park two calls deep is found through the call graph; the chain
+// names the API-level sink, not the kernel-internal park.
+func spawnBlocking(env *sim.Env, sig *sim.Signal) {
+	m := &machine{env: env, sig: sig}
+	env.SpawnHandler("blocking", m.runBlocking)
+}
+
+func (m *machine) runBlocking(h *sim.HandlerCtx) {
+	m.drain() // want `handler proc \(\*noblockhandler\.machine\)\.runBlocking reaches park-capable \(\*sim\.Signal\)\.Wait: .* \[\(\*noblockhandler\.machine\)\.runBlocking → \(\*noblockhandler\.machine\)\.drain → \(\*sim\.Signal\)\.Wait\]`
+}
+
+func (m *machine) drain() {
+	m.sig.Wait(m.p)
+}
+
+// A dynamic call cannot be proven park-free: flagged conservatively.
+func spawnDynamic(env *sim.Env, fn func()) {
+	m := &machine{env: env, fn: fn}
+	env.SpawnHandler("dynamic", m.runDynamic)
+}
+
+func (m *machine) runDynamic(h *sim.HandlerCtx) {
+	m.fn() // want `cannot prove handler proc \(\*noblockhandler\.machine\)\.runDynamic never blocks: call through a func value`
+}
+
+// The escape hatch documents a proven-safe dynamic site.
+func spawnAllowed(env *sim.Env, fn func()) {
+	m := &machine{env: env, fn: fn}
+	env.SpawnHandler("allowed", m.runAllowed)
+}
+
+func (m *machine) runAllowed(h *sim.HandlerCtx) {
+	//dcslint:allow noblockhandler completion-fn table holds only event-scheduling closures
+	m.fn()
+}
+
+// An opaque func value cannot be checked at all.
+var opaque func(*sim.HandlerCtx)
+
+func spawnOpaque(env *sim.Env) {
+	env.SpawnHandler("opaque", opaque) // want `handler proc registered with an opaque func value dcslint cannot check for blocking calls \[noblockhandler\.spawnOpaque\]`
+}
+
+// A func literal body is checked like any named root.
+func spawnLit(env *sim.Env, sig *sim.Signal) {
+	env.SpawnHandler("lit", func(h *sim.HandlerCtx) {
+		if !sig.WaitH(h) {
+			return
+		}
+		h.Exit()
+	})
+}

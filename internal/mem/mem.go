@@ -102,6 +102,7 @@ func (r *Region) WriteAt(off uint64, p []byte) {
 	copy(r.data[off:], p)
 	if r.writeHook != nil {
 		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free
+		//dcslint:allow noblockhandler hooks take no Proc and cannot park; they fire signals and schedule events only
 		r.writeHook(off, len(p))
 	}
 }
@@ -292,6 +293,7 @@ func (m *Map) Copy(dst, src Addr, n int) {
 	copy(dr.data[doff:doff+uint64(n)], sr.data[soff:soff+uint64(n)])
 	if dr.writeHook != nil {
 		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free
+		//dcslint:allow noblockhandler hooks take no Proc and cannot park; they fire signals and schedule events only
 		dr.writeHook(doff, n)
 	}
 }

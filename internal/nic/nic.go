@@ -270,7 +270,11 @@ func NewNIC(env *sim.Env, fab *pcie.Fabric, name string, params Params) *NIC {
 	n.txFIFO = sim.NewQueue[outFrame](env, name+"-txfifo")
 	n.txSpace = sim.NewCond(env)
 	n.Doorbells.SetWriteHook(n.onDoorbell)
-	env.Spawn(name+"-rx", n.rxLoop)
+	if env.HandlerProcs() {
+		env.SpawnHandler(name+"-rx", (&rxDemuxMachine{n: n}).run)
+	} else {
+		env.Spawn(name+"-rx", n.rxLoop)
+	}
 	env.Spawn(name+"-tx-wire", n.txWireLoop)
 	return n
 }
@@ -453,7 +457,11 @@ func (n *NIC) ConfigureQueue(cfg QueueConfig) {
 	n.queueList = append(n.queueList, q)
 	n.env.Spawn(fmt.Sprintf("%s-tx-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.txLoop(p, q) })
 	n.env.Spawn(fmt.Sprintf("%s-rx-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.rxQueueLoop(p, q) })
-	n.env.Spawn(fmt.Sprintf("%s-rxcpl-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.rxCplLoop(p, q) })
+	if n.env.HandlerProcs() {
+		n.env.SpawnHandler(fmt.Sprintf("%s-rxcpl-q%d", n.Name, cfg.QID), (&rxCplMachine{n: n, q: q}).run)
+	} else {
+		n.env.Spawn(fmt.Sprintf("%s-rxcpl-q%d", n.Name, cfg.QID), func(p *sim.Proc) { n.rxCplLoop(p, q) })
+	}
 }
 
 // DoorbellAddrs returns the four doorbell addresses for a queue.
@@ -795,9 +803,22 @@ func (n *NIC) fetchRecvBDs(p *sim.Proc, q *nicQueue) {
 // last, so a consumer woken by the status write always sees every
 // entry), then fires the (armed) interrupt.
 func (n *NIC) flushCompletions(p *sim.Proc, q *nicQueue) {
+	if n.prepFlush(q) == 0 {
+		return
+	}
+	n.fab.MustDMAVec(p, n.port, q.cplStage, q.cplExts, false)
+	n.finishFlush(q)
+}
+
+// prepFlush stages the pending completion entries for the flush DMA —
+// everything flushCompletions does before the vectored transfer — and
+// returns the entry count (0: nothing to flush). Shared by the
+// goroutine and handler flavors of the completer so the two stay
+// byte-identical.
+func (n *NIC) prepFlush(q *nicQueue) int {
 	k := len(q.cplBuf)
 	if k == 0 {
-		return
+		return 0
 	}
 	mm := n.fab.Mem()
 	// Encode straight into the staging region (device-internal, no
@@ -817,8 +838,12 @@ func (n *NIC) flushCompletions(p *sim.Proc, q *nicQueue) {
 	exts := ringExtents(q.cplExts[:0], q.cfg.RecvCpl.Base, slot, k, q.cfg.RecvEntries, RecvCplSize)
 	exts = append(exts, mem.Extent{Addr: q.cfg.RecvStatus, Len: 8})
 	q.cplExts = exts
-	n.fab.MustDMAVec(p, n.port, q.cplStage, exts, false)
+	return k
+}
 
+// finishFlush retires a completed flush DMA: the batch buffer rewinds
+// and the (armed) interrupt fires.
+func (n *NIC) finishFlush(q *nicQueue) {
 	q.cplBuf = q.cplBuf[:0]
 	q.cplFirst = q.recvCplN
 	n.maybeIRQ(q)

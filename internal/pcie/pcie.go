@@ -350,6 +350,14 @@ func (f *Fabric) DMAAsync(initiator *Port, dst, src mem.Addr, n int) *sim.Signal
 		return sig
 	}
 	job := asyncJob{initiator: initiator, dst: dst, src: src, n: n, sig: sig}
+	if f.env.HandlerProcs() {
+		// Handler flavor: same pool discipline, no goroutine and no
+		// park/resume handoffs. The machine and its bound body are
+		// created once per pooled worker, like the goroutine's stack.
+		w := &dmaWorker{f: f, job: job, hasJob: true}
+		f.env.SpawnHandler("dma-async", w.run)
+		return sig
+	}
 	f.env.Spawn("dma-async", func(p *sim.Proc) {
 		for {
 			f.MustDMA(p, job.initiator, job.dst, job.src, job.n)

@@ -47,6 +47,37 @@ func (b *BandwidthServer) Transfer(p *Proc, n int) {
 	b.xfers++
 }
 
+// AcquireH is the handler-staged first leg of Transfer: it reports
+// true once the handler holds the server. The caller then re-arms for
+// HoldTime(n) and finishes with CompleteH(n) — the exact decomposition
+// Transfer performs (Acquire; Sleep; Release + account).
+//
+//dcslint:hotpath
+func (b *BandwidthServer) AcquireH(h *HandlerCtx, t *ResTicket) bool {
+	return b.res.AcquireH(h, t)
+}
+
+// HoldTime returns the occupancy of an n-byte transfer: the fixed
+// per-transfer overhead plus serialization time.
+//
+//dcslint:hotpath
+func (b *BandwidthServer) HoldTime(n int) Time {
+	if n < 0 {
+		panic("sim: negative transfer size")
+	}
+	return b.overhead + BpsToTime(n, b.bps)
+}
+
+// CompleteH is the handler-staged last leg of Transfer: it releases
+// the server and accounts the n bytes moved.
+//
+//dcslint:hotpath
+func (b *BandwidthServer) CompleteH(n int) {
+	b.res.Release()
+	b.bytes += int64(n)
+	b.xfers++
+}
+
 // AccrueFlow records bytes, transfer count, and busy time served
 // analytically (flow fidelity) without occupying the server. The
 // analytic caller has already established that the server would have

@@ -104,6 +104,13 @@ type Stats struct {
 	CrossFrames uint64 // frames merged through the fabric
 	Domains     int
 	Workers     int // worker goroutines the run may use
+
+	// Dispatch-flavor counters summed across domains (DESIGN.md §16):
+	// the park/resume handoff tax and the handler dispatches that
+	// replace it.
+	Parks             uint64
+	Handoffs          uint64
+	HandlerDispatches uint64
 }
 
 // Kernel is the conservative parallel coordinator: it owns the barrier
@@ -170,6 +177,12 @@ func (k *Kernel) Stats() Stats {
 	s.Workers = k.workers
 	if s.Workers > s.Domains {
 		s.Workers = s.Domains
+	}
+	for _, d := range k.domains {
+		es := d.env.Stats()
+		s.Parks += es.Parks
+		s.Handoffs += es.Handoffs
+		s.HandlerDispatches += es.HandlerDispatches
 	}
 	return s
 }

@@ -90,11 +90,15 @@ type Env struct {
 	steps uint64        // events dispatched (diagnostics)
 
 	fuse       bool         // zero-delay fusion enabled (Chain inline, Yield fast path)
+	hproc      bool         // converted model paths spawn handler procs
 	fused      uint64       // continuations run inline instead of enqueued
 	ios        uint64       // protocol-level I/O completions (CountIO)
 	wireFid    WireFidelity // wire model fidelity (per-frame vs flow segments)
 	segments   uint64       // flow segments emitted (CountSegment calls)
 	segFrames  uint64       // frames carried by those segments
+	parks      uint64       // goroutine-proc parks (each costs a dispatch handoff)
+	handoffs   uint64       // channel handoffs between dispatching goroutines
+	hdispatch  uint64       // handler-proc bodies dispatched inline
 	chainDepth int          // live inline Chain nesting (runaway-recursion guard)
 }
 
@@ -147,9 +151,25 @@ func DefaultWireFidelity() WireFidelity {
 	return WireFlow
 }
 
+// handlerOff inverts the package default so the zero value means
+// handler procs are ON, mirroring fusionOff above. The knob selects
+// which process flavor the converted model paths (pcie async-DMA
+// workers, NIC demux/completion loops, hostnet rx delivery) spawn;
+// the kernel itself always dispatches both flavors.
+var handlerOff atomic.Bool
+
+// SetDefaultHandlerProcs sets whether environments created after this
+// call run the converted model loops as run-to-completion handler
+// procs (on) or classic goroutine procs (off). It exists for A/B
+// equivalence testing; production code leaves handler procs on.
+func SetDefaultHandlerProcs(on bool) { handlerOff.Store(!on) }
+
+// DefaultHandlerProcs reports the current package-wide default.
+func DefaultHandlerProcs() bool { return !handlerOff.Load() }
+
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	e := &Env{yield: make(chan struct{}), horizon: -1, fuse: !fusionOff.Load()}
+	e := &Env{yield: make(chan struct{}), horizon: -1, fuse: !fusionOff.Load(), hproc: !handlerOff.Load()}
 	if wireFrameOnly.Load() {
 		e.wireFid = WireFrame
 	} else {
@@ -163,6 +183,15 @@ func (e *Env) SetFusion(on bool) { e.fuse = on }
 
 // Fusion reports whether zero-delay fusion is enabled for this env.
 func (e *Env) Fusion() bool { return e.fuse }
+
+// SetHandlerProcs overrides the handler-proc flavor selection for this
+// environment only. Call it before any model is built: spawn sites
+// latch the flavor at construction time.
+func (e *Env) SetHandlerProcs(on bool) { e.hproc = on }
+
+// HandlerProcs reports whether converted model paths in this
+// environment spawn handler procs.
+func (e *Env) HandlerProcs() bool { return e.hproc }
 
 // SetWireFidelity overrides the wire fidelity for this environment
 // only. Call it before any model activity: devices latch per-flow
@@ -277,6 +306,12 @@ func (e *Env) Run(horizon Time) Time {
 		e.now = ev.at
 		e.steps++
 		if ev.proc != nil {
+			if ev.proc.hfn != nil {
+				// Handler procs run to completion right here on the
+				// dispatching goroutine: no handoff, no channel ops.
+				e.runHandler(ev.proc)
+				continue
+			}
 			// Hand the dispatch role to the process; control returns
 			// here only when the whole chain of handoffs ends.
 			e.handoff(ev.proc)
@@ -366,6 +401,13 @@ type Stats struct {
 	IOs       uint64 // protocol I/O completions recorded via CountIO
 	Segments  uint64 // flow segments emitted by the wire fast path
 	SegFrames uint64 // frames carried inside those segments
+
+	// The park/handoff tax, first-class: every goroutine-proc park
+	// costs at least one channel handoff to move the dispatch role;
+	// handler dispatches are the same wakes served inline for free.
+	Parks             uint64 // goroutine-proc parks
+	Handoffs          uint64 // channel handoffs between dispatching goroutines
+	HandlerDispatches uint64 // handler-proc bodies invoked inline
 }
 
 // EventsPerIO returns dispatched events per recorded I/O (0 if none).
@@ -378,7 +420,11 @@ func (s Stats) EventsPerIO() float64 {
 
 // Stats returns the environment's dispatch counters.
 func (e *Env) Stats() Stats {
-	return Stats{Events: e.steps, Fused: e.fused, IOs: e.ios, Segments: e.segments, SegFrames: e.segFrames}
+	return Stats{
+		Events: e.steps, Fused: e.fused, IOs: e.ios,
+		Segments: e.segments, SegFrames: e.segFrames,
+		Parks: e.parks, Handoffs: e.handoffs, HandlerDispatches: e.hdispatch,
+	}
 }
 
 // handoff resumes p, transferring the dispatch role to its goroutine.
@@ -386,7 +432,20 @@ func (e *Env) handoff(p *Proc) {
 	if p.dead {
 		panic("sim: resuming terminated process " + p.name)
 	}
+	e.handoffs++
 	p.resume <- struct{}{}
+}
+
+// runHandler invokes a handler proc's body inline on the dispatching
+// goroutine. The body runs to completion (having re-armed itself or
+// enrolled on a sync edge) and control stays with the dispatcher.
+func (e *Env) runHandler(p *Proc) {
+	if p.dead {
+		panic("sim: dispatching terminated handler proc " + p.name)
+	}
+	e.hdispatch++
+	//dcslint:allow noalloc handler bodies are judged at their creation sites (noblockhandler walks them)
+	p.hfn(p.hctx)
 }
 
 // dispatchFrom runs the event loop on the goroutine of the parked
@@ -398,6 +457,7 @@ func (e *Env) dispatchFrom(self *Proc) {
 	for {
 		ev, ok := e.next()
 		if !ok {
+			e.handoffs++
 			e.yield <- struct{}{}
 			<-self.resume
 			return
@@ -407,6 +467,10 @@ func (e *Env) dispatchFrom(self *Proc) {
 		if ev.proc != nil {
 			if ev.proc == self {
 				return // our own wakeup: just keep running
+			}
+			if ev.proc.hfn != nil {
+				e.runHandler(ev.proc)
+				continue
 			}
 			e.handoff(ev.proc)
 			<-self.resume
@@ -424,12 +488,17 @@ func (e *Env) dispatchExit() {
 	for {
 		ev, ok := e.next()
 		if !ok {
+			e.handoffs++
 			e.yield <- struct{}{}
 			return
 		}
 		e.now = ev.at
 		e.steps++
 		if ev.proc != nil {
+			if ev.proc.hfn != nil {
+				e.runHandler(ev.proc)
+				continue
+			}
 			e.handoff(ev.proc)
 			return
 		}
@@ -440,11 +509,20 @@ func (e *Env) dispatchExit() {
 // Proc is a simulation process: a goroutine that runs model logic and
 // parks on the scheduler whenever it waits for simulated time or for a
 // synchronization object.
+//
+// A Proc with hfn set is the second flavor — a handler proc (see
+// SpawnHandler): it has no goroutine and no resume channel, and its
+// wake events invoke hfn inline on the dispatching goroutine. Both
+// flavors share one wake/enqueue path and one waiter representation,
+// so sync primitives and schedules are identical across flavors.
 type Proc struct {
 	env    *Env
 	name   string
 	resume chan struct{}
 	dead   bool
+
+	hfn  func(*HandlerCtx) // handler body; non-nil marks a handler proc
+	hctx *HandlerCtx       // the body's context, allocated once at spawn
 }
 
 // Name returns the process name given at Spawn time.
@@ -472,10 +550,75 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// HandlerCtx is the context of one handler proc: a run-to-completion
+// state machine dispatched inline by the event loop (see SpawnHandler).
+// The body may schedule events, ring doorbells, fire signals, and
+// re-arm itself, but it must never block — every park-capable API
+// panics on a handler proc (and dcslint noblockhandler proves the
+// absence statically). Waiting is expressed by enrolling on a
+// Signal/Cond/Queue/Resource edge through the non-blocking H variants
+// and returning; the next wake re-invokes the body, which re-checks
+// its state exactly like a goroutine proc re-checks its predicate
+// after a park.
+type HandlerCtx struct {
+	proc *Proc
+}
+
+// SpawnHandler creates a handler proc and schedules its first dispatch
+// immediately (at the current simulation time, after already-queued
+// events) — the same first event a goroutine Spawn consumes, so the
+// two flavors are schedule-identical from birth.
+func (e *Env) SpawnHandler(name string, fn func(*HandlerCtx)) *HandlerCtx {
+	p := &Proc{env: e, name: name, hfn: fn}
+	p.hctx = &HandlerCtx{proc: p}
+	e.live++
+	e.enqueue(e.now, event{proc: p})
+	return p.hctx
+}
+
+// Name returns the handler proc's name given at SpawnHandler time.
+func (h *HandlerCtx) Name() string { return h.proc.name }
+
+// Env returns the environment the handler proc belongs to.
+func (h *HandlerCtx) Env() *Env { return h.proc.env }
+
+// Now returns the current simulation time.
+func (h *HandlerCtx) Now() Time { return h.proc.env.now }
+
+// Rearm schedules the handler body to be re-invoked after d — the
+// handler analogue of Sleep: the caller saves its continuation state
+// and returns. Rearm(0) re-arms at the current instant behind
+// already-queued events (the Yield analogue); a body that may legally
+// continue inline should simply keep running instead.
+//
+//dcslint:hotpath
+func (h *HandlerCtx) Rearm(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative rearm %v in %s", d, h.proc.name))
+	}
+	e := h.proc.env
+	e.enqueue(e.now+d, event{proc: h.proc})
+}
+
+// Exit terminates the handler proc: the body must return immediately
+// after calling it and no wake may still be pending. Dispatching a
+// terminated handler proc panics, mirroring goroutine-proc resumption.
+func (h *HandlerCtx) Exit() {
+	if h.proc.dead {
+		panic("sim: handler proc " + h.proc.name + " exited twice")
+	}
+	h.proc.dead = true
+	h.proc.env.live--
+}
+
 // park returns control to the scheduler until the process is woken.
 // The parking goroutine itself becomes the dispatcher, so the common
 // case (another process runs next) costs one channel handoff.
 func (p *Proc) park() {
+	if p.hfn != nil {
+		panic("sim: handler proc " + p.name + " called a blocking API (re-arm on a Signal/Cond edge or use the non-blocking H variants instead)")
+	}
+	p.env.parks++
 	p.env.dispatchFrom(p)
 }
 

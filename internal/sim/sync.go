@@ -48,6 +48,23 @@ func (s *Signal) Wait(p *Proc) any {
 	return s.val
 }
 
+// WaitH is the handler-proc analogue of Wait: when the signal has
+// already fired it reports true and the body proceeds inline (exactly
+// where a goroutine Wait would return without parking); otherwise it
+// enrolls the handler on the same waiter list a goroutine would park
+// on and reports false — the body must return and re-check on its
+// next dispatch, mirroring Wait's re-check loop.
+//
+//dcslint:hotpath
+func (s *Signal) WaitH(h *HandlerCtx) bool {
+	if s.done {
+		return true
+	}
+	//dcslint:allow noalloc waiter list is capacity-preserving (Fire truncates, keeps backing array)
+	s.waiters = append(s.waiters, h.proc)
+	return false
+}
+
 // Reset returns a fired signal to the unfired state so it can be
 // reused — the backing primitive for deterministic signal free lists
 // (sync.Pool is scheduling-dependent and therefore banned from model
@@ -83,6 +100,18 @@ func (c *Cond) Wait(p *Proc) {
 	//dcslint:allow noalloc waiter list is capacity-preserving (Broadcast truncates, keeps backing array)
 	c.waiters = append(c.waiters, p)
 	p.park()
+}
+
+// WaitH is the handler-proc analogue of Wait: it enrolls the handler
+// for the next Broadcast and returns. The body must return after
+// calling it and re-check its predicate on the next dispatch:
+//
+//	if !predicate() { cond.WaitH(h); return }
+//
+//dcslint:hotpath
+func (c *Cond) WaitH(h *HandlerCtx) {
+	//dcslint:allow noalloc waiter list is capacity-preserving (Broadcast truncates, keeps backing array)
+	c.waiters = append(c.waiters, h.proc)
 }
 
 // Broadcast wakes every currently parked waiter.
@@ -199,6 +228,37 @@ func (q *Queue[T]) Get(p *Proc) T {
 	return v
 }
 
+// GetH is the handler-proc analogue of Get: when an item is available
+// it is taken (with the identical chain-wake behaviour) and returned
+// with ok=true; otherwise the handler is enrolled on the same waiter
+// FIFO a goroutine would park on and ok=false — the body must return
+// and retry on its next dispatch, mirroring Get's re-check loop.
+//
+//dcslint:hotpath
+func (q *Queue[T]) GetH(h *HandlerCtx) (T, bool) {
+	if q.Len() == 0 {
+		if q.waitHead > 0 && len(q.waiters) == cap(q.waiters) {
+			n := copy(q.waiters, q.waiters[q.waitHead:])
+			for i := n; i < len(q.waiters); i++ {
+				q.waiters[i] = nil
+			}
+			q.waiters = q.waiters[:n]
+			q.waitHead = 0
+		}
+		//dcslint:allow noalloc waiter list is capacity-preserving (wakeWaiter rewinds, keeps backing array)
+		q.waiters = append(q.waiters, h.proc)
+		var zero T
+		return zero, false
+	}
+	v := q.takeItem()
+	// Identical to Get: if items remain and more waiters are parked,
+	// keep the chain going.
+	if q.Len() > 0 {
+		q.wakeWaiter()
+	}
+	return v, true
+}
+
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	if q.Len() == 0 {
@@ -274,6 +334,46 @@ func (r *Resource) Acquire(p *Proc) {
 	for !w.granted {
 		p.park()
 	}
+}
+
+// ResTicket is a handler proc's pending Acquire: the waiter record a
+// goroutine Acquire would stack-allocate, held instead inside the
+// handler's long-lived state machine so enrolment survives across
+// dispatches without allocating. The zero value is an idle ticket.
+type ResTicket struct {
+	w       resWaiter
+	waiting bool
+}
+
+// AcquireH is the handler-proc analogue of Acquire: it reports true
+// once the caller holds a unit. On false the handler is enrolled (or
+// still enrolled) on the same FIFO waiter list a goroutine would park
+// on; the body must return and call AcquireH again with the same
+// ticket on its next dispatch. The grant path is identical: Release
+// passes ownership directly to the head waiter.
+//
+//dcslint:hotpath
+func (r *Resource) AcquireH(h *HandlerCtx, t *ResTicket) bool {
+	if t.waiting {
+		if !t.w.granted {
+			return false // spurious dispatch: grant not ours yet
+		}
+		// Ownership was passed directly by Release; reset the ticket
+		// for reuse.
+		t.waiting = false
+		t.w = resWaiter{}
+		return true
+	}
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.stamp()
+		r.inUse++
+		return true
+	}
+	t.w = resWaiter{p: h.proc}
+	t.waiting = true
+	//dcslint:allow noalloc waiter record lives inside the caller's ticket; list is capacity-preserving
+	r.waiters = append(r.waiters, &t.w)
+	return false
 }
 
 // TryAcquire takes a unit if one is free, without blocking.
