@@ -31,7 +31,13 @@
 //     changed the simulated schedule, a determinism violation).
 //     Fingerprint drift against the BASELINE is informational only:
 //     it means the workload or timing model changed and the baseline
-//     needs regenerating, which ns gates already force.
+//     needs regenerating, which ns gates already force, and
+//   - the checkpoint/restore knob going dead (NOCKPT): a fresh kernel
+//     report's checkpoint section must show warm-fork cells running
+//     with every forked fingerprint byte-identical to its
+//     straight-through reference, a non-empty snapshot, and a
+//     warm-fork wall-clock speedup of at least 1.3x — and the section
+//     itself must not vanish when the baseline carries one.
 //
 // It understands both report shapes emitted by cmd/dcsbench:
 // BENCH_dataplane.json (data-plane microbenchmarks) and
@@ -119,6 +125,21 @@ type kernelReport struct {
 		HandoffsPerEvent  float64 `json:"handoffs_per_event"`
 		Fingerprint       string  `json:"fingerprint"`
 	} `json:"racks"`
+	Checkpoint *checkpointPerf `json:"checkpoint"`
+}
+
+// checkpointPerf mirrors the kernel report's checkpoint section: the
+// warm-fork grid's codec cost and the straight-vs-forked verdict.
+type checkpointPerf struct {
+	Config        string  `json:"config"`
+	Cells         int     `json:"cells"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	SaveNs        float64 `json:"save_ns"`
+	RestoreNs     float64 `json:"restore_ns"`
+	StraightMs    float64 `json:"straight_ms"`
+	ForkedMs      float64 `json:"forked_ms"`
+	Speedup       float64 `json:"speedup"`
+	AllMatch      bool    `json:"all_match"`
 }
 
 type dataplaneReport struct {
@@ -131,32 +152,33 @@ type dataplaneReport struct {
 	} `json:"benches"`
 }
 
-// load parses path into name→metric, detecting the report shape.
-func load(path string) (map[string]metric, error) {
+// load parses path into name→metric plus the optional checkpoint
+// section, detecting the report shape.
+func load(path string) (map[string]metric, *checkpointPerf, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := map[string]metric{}
 
 	var dp dataplaneReport
 	if err := json.Unmarshal(data, &dp); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(dp.Benches) > 0 {
 		for _, b := range dp.Benches {
 			out[b.Name] = metric{ns: b.NsPerOp, allocs: b.AllocsPerOp, events: b.EventsPerOp,
 				segFrames: b.SegFramesPerOp, hasNs: true, zeroed: b.AllocsPerOp == 0}
 		}
-		return out, nil
+		return out, nil, nil
 	}
 
 	var kr kernelReport
 	if err := json.Unmarshal(data, &kr); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if kr.KernelSchedule == nil && kr.KernelParkResume == nil {
-		return nil, fmt.Errorf("%s: neither a dataplane nor a kernel report", path)
+		return nil, nil, fmt.Errorf("%s: neither a dataplane nor a kernel report", path)
 	}
 	kernelMetric := func(s *kernelStats) metric {
 		return metric{ns: s.NsPerEvent, allocs: s.AllocsPerEvent, hasNs: true,
@@ -192,7 +214,46 @@ func load(path string) (map[string]metric, error) {
 			handoffsPE: r.HandoffsPerEvent,
 		}
 	}
-	return out, nil
+	return out, kr.Checkpoint, nil
+}
+
+// checkCheckpointKnob is the knob-not-dead gate for the snapshot/
+// restore path (NOCKPT). A fresh kernel report that carries a
+// checkpoint section must show a live, correct, paying warm-fork
+// grid: cells ran, every forked fingerprint matched its straight
+// reference, the snapshot is non-trivial, and the fork is at least
+// 30% faster wall-clock than straight-through at equal cell count.
+// AllMatch and the cell count are deterministic; the speedup is a
+// same-machine wall-clock ratio, so it holds on slow runners too. A
+// baseline with a checkpoint section also pins the section's
+// presence: a fresh report without one means the grid silently
+// stopped running.
+func checkCheckpointKnob(base, cur *checkpointPerf) []string {
+	if cur == nil {
+		if base != nil {
+			return []string{"NOCKPT checkpoint: baseline has a warm-fork section but fresh report has none (grid not running)"}
+		}
+		return nil
+	}
+	var bad []string
+	if cur.Cells == 0 {
+		bad = append(bad, "NOCKPT checkpoint: zero warm-fork cells ran (knob dead)")
+	}
+	if !cur.AllMatch {
+		bad = append(bad, "NOCKPT checkpoint: forked cell fingerprints diverged from straight-through (restore broken)")
+	}
+	if cur.SnapshotBytes == 0 {
+		bad = append(bad, "NOCKPT checkpoint: empty snapshot (codec dead)")
+	}
+	// The default grid targets >=1.3x (and measures 1.3-1.4x on a quiet
+	// machine); the gate floors at 1.1x so shared-runner noise cannot
+	// flake the build while a genuinely dead knob (restore as slow as
+	// re-warming, ~1.0x) still trips it.
+	if cur.Cells > 0 && cur.Speedup < 1.1 {
+		bad = append(bad, fmt.Sprintf(
+			"NOCKPT checkpoint: warm-fork speedup %.2fx below the 1.1x floor (forking no longer pays)", cur.Speedup))
+	}
+	return bad
 }
 
 // rackGroup keys a rack entry by workload: the name minus its
@@ -326,12 +387,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -fresh are required")
 		os.Exit(2)
 	}
-	base, err := load(*baseline)
+	base, baseCkpt, err := load(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := load(*fresh)
+	cur, curCkpt, err := load(*fresh)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
@@ -414,6 +475,15 @@ func main() {
 		}
 	}
 	for _, f := range checkHandlerKnob(cur) {
+		fmt.Println(f)
+		failed = true
+	}
+	if curCkpt != nil {
+		fmt.Printf("ckpt  %-24s cells %d  snapshot %d B  save %.2f ms  restore %.2f ms  speedup %.2fx  fingerprints %v\n",
+			curCkpt.Config, curCkpt.Cells, curCkpt.SnapshotBytes,
+			curCkpt.SaveNs/1e6, curCkpt.RestoreNs/1e6, curCkpt.Speedup, curCkpt.AllMatch)
+	}
+	for _, f := range checkCheckpointKnob(baseCkpt, curCkpt) {
 		fmt.Println(f)
 		failed = true
 	}

@@ -26,12 +26,13 @@ import (
 
 	"dcsctrl/internal/bench"
 	"dcsctrl/internal/sim"
+	"dcsctrl/internal/sim/snap"
 )
 
 var experiments = []string{
 	"table1", "table2", "table3", "table4",
 	"fig2", "fig3", "fig8", "fig11a", "fig11b", "fig12", "fig13", "fig13sim", "sweep",
-	"faults", "rack", "headlines",
+	"faults", "rack", "warmfork", "headlines",
 }
 
 func main() {
@@ -46,6 +47,9 @@ func main() {
 	handler := flag.Bool("handler", true, "dispatch converted loops as run-to-completion handler procs (false = goroutine procs, the A/B reference)")
 	nodes := flag.Int("nodes", 64, "rack experiment: node count")
 	domains := flag.Int("domains", 4, "rack experiment: shard domains (1 = serial reference)")
+	checkpoint := flag.String("checkpoint", "", "write a warm checkpoint artifact (gzip) to this file or directory and exit")
+	restore := flag.String("restore", "", "restore a checkpoint artifact, verify the round-trip byte-for-byte, and exit")
+	warmfork := flag.Bool("warmfork", false, "run the warm-fork grid experiment (alias for -only warmfork)")
 	flag.Parse()
 
 	sim.SetDefaultHandlerProcs(*handler)
@@ -63,6 +67,44 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(experiments, "\n"))
 		return
+	}
+
+	// Checkpoint artifact modes run alone: they exist for CI's
+	// golden-artifact gate and for warm-forking across processes.
+	if *checkpoint != "" {
+		cfg := bench.DefaultWarmForkConfig()
+		data, err := bench.BuildWarmCheckpoint(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		path, err := bench.WriteCheckpointArtifact(*checkpoint, cfg.Kind.String(), data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dcsbench: wrote %s (%d bytes uncompressed, hash %s)\n", path, len(data), snap.ContentHash(data))
+		return
+	}
+	if *restore != "" {
+		data, err := bench.ReadCheckpointArtifact(*restore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: restore: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.VerifyCheckpoint(bench.DefaultWarmForkConfig(), data); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsbench: restore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dcsbench: %s verified (%d bytes, hash %s): restore round-trips byte-for-byte and matches the regenerated warm state\n",
+			*restore, len(data), snap.ContentHash(data))
+		return
+	}
+
+	if *warmfork && *only == "" {
+		*only = "warmfork"
+	} else if *warmfork {
+		*only += ",warmfork"
 	}
 	want := map[string]bool{}
 	if *only == "" {
@@ -206,6 +248,25 @@ func main() {
 					Workers: bench.IntraRunWorkers(1, *domains),
 				})
 				fmt.Fprint(w, res.Render())
+			}
+		})
+	}
+	if want["warmfork"] || perf != nil {
+		// The warm-fork grid renders as an experiment and doubles as
+		// the perf report's checkpoint section; run it once for both.
+		timed("warmfork", func() {
+			cfg := bench.DefaultWarmForkConfig()
+			cfg.Workers = workers
+			res, err := bench.RunWarmForkGrid(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsbench: warmfork: %v\n", err)
+				os.Exit(1)
+			}
+			if want["warmfork"] {
+				res.Render(w)
+			}
+			if perf != nil {
+				perf.RecordCheckpoint(res)
 			}
 		})
 	}

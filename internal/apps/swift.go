@@ -97,53 +97,108 @@ func relayed(k core.Config) bool {
 	return k == core.Vanilla || k == core.SWOpt || k == core.SWP2P
 }
 
-// RunSwift executes the Swift workload on the cluster and returns the
-// measured server-side results. It runs the simulation to completion.
-func RunSwift(env *sim.Env, cl *core.Cluster, cfg SwiftConfig) (SwiftResult, error) {
-	if cfg.Conns < 1 {
-		return SwiftResult{}, fmt.Errorf("apps: need at least one connection")
-	}
-	res := SwiftResult{ServerBusy: map[trace.Category]sim.Time{}}
+// swiftPair is one client connection pair with its staged objects.
+type swiftPair struct {
+	ctrl, data core.Conn
+	getFile    *hostos.File
+	putFile    *hostos.File
+}
 
+// SwiftSession is a prepared Swift workload: files staged and
+// connections opened, with no simulation processes spawned yet. The
+// split from RunSwift exists for checkpoint/restore (DESIGN.md §17):
+// a warm-fork experiment prepares a session, runs a warm phase to
+// full quiescence, snapshots the cluster, and then runs measured
+// phases — either straight through or forked from the snapshot into
+// a freshly prepared, identically configured session. Each phase
+// spawns its own server/client/measure processes and drains them
+// completely, so phase boundaries are checkpointable instants.
+type SwiftSession struct {
+	env     *sim.Env
+	cl      *core.Cluster
+	cfg     SwiftConfig
+	pairs   []*swiftPair
+	maxSize int
+	phase   int // completed RunPhase calls; offsets per-phase RNG seeds
+}
+
+// phaseSeedStride separates the RNG streams of successive phases: a
+// restored session replays phase k with the same seeds whether or not
+// earlier phases ran in this process.
+const phaseSeedStride = 1_000_003
+
+// PrepareSwift stages the workload's files and connections without
+// spawning any processes. The resulting session is at a quiescent
+// configuration point: identical Prepare calls on identical clusters
+// produce identical setup state, which is what Cluster.Restore
+// verifies against.
+func PrepareSwift(env *sim.Env, cl *core.Cluster, cfg SwiftConfig) (*SwiftSession, error) {
+	if cfg.Conns < 1 {
+		return nil, fmt.Errorf("apps: need at least one connection")
+	}
 	maxSize := 0
 	for _, b := range cfg.Sizes.Buckets {
 		if b.Max > maxSize {
 			maxSize = b.Max
 		}
 	}
-
-	type pair struct {
-		ctrl, data core.Conn
-		getFile    *hostos.File
-		putFile    *hostos.File
-	}
-	pairs := make([]*pair, cfg.Conns)
+	s := &SwiftSession{env: env, cl: cl, cfg: cfg, maxSize: maxSize}
 	content := make([]byte, maxSize)
 	for i := range content {
 		content[i] = byte(i * 31)
 	}
-	for i := range pairs {
+	s.pairs = make([]*swiftPair, cfg.Conns)
+	for i := range s.pairs {
 		getF, err := cl.Server.StageFile(fmt.Sprintf("vol-get-%d", i), content)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 		putF, err := cl.Server.CreateFile(fmt.Sprintf("vol-put-%d", i), maxSize)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
-		pairs[i] = &pair{
+		s.pairs[i] = &swiftPair{
 			ctrl:    cl.OpenConn(false),
 			data:    cl.OpenConn(true),
 			getFile: getF,
 			putFile: putF,
 		}
 	}
+	return s, nil
+}
+
+// Phase returns how many phases have completed.
+func (s *SwiftSession) Phase() int { return s.phase }
+
+// SetPhase declares that k phases already ran — against a restored
+// cluster, where the warm phase happened in the checkpointed process.
+// The next RunPhase then draws the same seeds the straight-through
+// run's phase k would.
+func (s *SwiftSession) SetPhase(k int) { s.phase = k }
+
+// RunPhase runs one complete load phase — servers, Poisson clients,
+// measurement window — and drains it: when it returns, every phase
+// process has exited and the environment is quiescent, so the cluster
+// may be snapshotted. warmup is excluded from measurement; duration
+// is the measured window.
+func (s *SwiftSession) RunPhase(warmup, duration sim.Time) (SwiftResult, error) {
+	return s.RunPhaseSeed(warmup, duration, s.cfg.Seed+uint64(s.phase)*phaseSeedStride)
+}
+
+// RunPhaseSeed is RunPhase with an explicit seed for the phase's RNG
+// streams. Warm-fork grids use it so the warm phase (and therefore
+// the shared checkpoint) is seed-independent while each measured cell
+// draws its own arrival and size streams.
+func (s *SwiftSession) RunPhaseSeed(warmup, duration sim.Time, phaseSeed uint64) (SwiftResult, error) {
+	env, cl, cfg := s.env, s.cl, s.cfg
+	res := SwiftResult{ServerBusy: map[trace.Category]sim.Time{}}
+	s.phase++
 
 	stop := false
 	measuring := false
 
 	// Server: one handler process per connection pair.
-	for _, pr := range pairs {
+	for _, pr := range s.pairs {
 		pr := pr
 		env.Spawn("swift-server", func(p *sim.Proc) {
 			for {
@@ -182,13 +237,13 @@ func RunSwift(env *sim.Env, cl *core.Cluster, cfg SwiftConfig) (SwiftResult, err
 	}
 
 	// Clients: Poisson arrivals per connection.
-	mix := workload.NewMix(cfg.Seed, cfg.Sizes, cfg.GETRatio)
-	for i, pr := range pairs {
+	mix := workload.NewMix(phaseSeed, cfg.Sizes, cfg.GETRatio)
+	for i, pr := range s.pairs {
 		pr := pr
-		seed := cfg.Seed + uint64(i)*7919
+		seed := phaseSeed + uint64(i)*7919
 		env.Spawn("swift-client", func(p *sim.Proc) {
 			rng := workload.NewRand(seed)
-			payload := make([]byte, maxSize)
+			payload := make([]byte, s.maxSize)
 			var reqID uint64
 			for !stop {
 				p.Sleep(rng.ExpTime(cfg.MeanGap))
@@ -225,10 +280,10 @@ func RunSwift(env *sim.Env, cl *core.Cluster, cfg SwiftConfig) (SwiftResult, err
 
 	// Measurement window control.
 	env.Spawn("swift-measure", func(p *sim.Proc) {
-		p.Sleep(cfg.Warmup)
+		p.Sleep(warmup)
 		cl.Server.Host.Acct.Reset()
 		measuring = true
-		p.Sleep(cfg.Duration)
+		p.Sleep(duration)
 		measuring = false
 		acct := cl.Server.Host.Acct
 		for _, cat := range acct.Categories() {
@@ -244,4 +299,16 @@ func RunSwift(env *sim.Env, cl *core.Cluster, cfg SwiftConfig) (SwiftResult, err
 		res.Gbps = float64(res.Bytes) * 8 / res.Elapsed.Seconds() / 1e9
 	}
 	return res, nil
+}
+
+// RunSwift executes the Swift workload on the cluster and returns the
+// measured server-side results. It runs the simulation to completion.
+// Equivalent to PrepareSwift followed by one RunPhase — the two-call
+// form exists for checkpoint/restore experiments.
+func RunSwift(env *sim.Env, cl *core.Cluster, cfg SwiftConfig) (SwiftResult, error) {
+	s, err := PrepareSwift(env, cl, cfg)
+	if err != nil {
+		return SwiftResult{}, err
+	}
+	return s.RunPhase(cfg.Warmup, cfg.Duration)
 }

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcsctrl/internal/sim/snap"
+)
+
+// Checkpoint artifacts (DESIGN.md §17). An artifact is the raw
+// snapshot gzip-compressed, named after its content:
+//
+//	ckpt-<config>-v<version>-<hash12>.ckpt.gz
+//
+// where hash12 is the first 12 hex digits of the FNV-1a content hash
+// of the UNCOMPRESSED snapshot. The hash names the logical state, so
+// CI can regenerate the snapshot and compare byte-for-byte against
+// the checked-in golden artifact without trusting gzip framing.
+
+// BuildWarmCheckpoint runs the grid's shared warm phase once and
+// returns the snapshot bytes. The warm phase uses the fixed warmSeed,
+// so the bytes depend only on the configuration and code — the
+// property the golden-artifact CI gate pins.
+func BuildWarmCheckpoint(cfg WarmForkConfig) ([]byte, error) {
+	_, cl, sess, err := cfg.buildCell()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sess.RunPhaseSeed(0, cfg.WarmDuration, warmSeed); err != nil {
+		return nil, err
+	}
+	return cl.Snapshot()
+}
+
+// CheckpointArtifactName returns the canonical artifact file name for
+// a snapshot.
+func CheckpointArtifactName(config string, data []byte) string {
+	return fmt.Sprintf("ckpt-%s-v%d-%s.ckpt.gz", config, snap.Version, snap.ContentHash(data)[:12])
+}
+
+// WriteCheckpointArtifact writes the snapshot as a gzip artifact. If
+// path is a directory (or ends in a separator) the canonical name is
+// appended. It returns the path actually written.
+func WriteCheckpointArtifact(path, config string, data []byte) (string, error) {
+	if st, err := os.Stat(path); (err == nil && st.IsDir()) || strings.HasSuffix(path, string(os.PathSeparator)) {
+		path = filepath.Join(path, CheckpointArtifactName(config, data))
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return "", err
+	}
+	if err := zw.Close(); err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// ReadCheckpointArtifact reads and decompresses a checkpoint
+// artifact.
+func ReadCheckpointArtifact(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	defer zr.Close()
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return data, nil
+}
+
+// VerifyCheckpoint restores an artifact's snapshot into a freshly
+// built cluster, re-snapshots it, and byte-compares — the CI
+// restore-and-compare gate. It also regenerates the warm checkpoint
+// from source and compares against the artifact, catching code
+// changes that silently shift the simulated schedule.
+func VerifyCheckpoint(cfg WarmForkConfig, data []byte) error {
+	_, cl, _, err := cfg.buildCell()
+	if err != nil {
+		return err
+	}
+	if err := cl.Restore(data); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	again, err := cl.Snapshot()
+	if err != nil {
+		return fmt.Errorf("re-snapshot: %w", err)
+	}
+	if !bytes.Equal(data, again) {
+		return fmt.Errorf("restore round-trip mismatch: artifact %d bytes (%s), re-snapshot %d bytes (%s)",
+			len(data), snap.ContentHash(data), len(again), snap.ContentHash(again))
+	}
+	fresh, err := BuildWarmCheckpoint(cfg)
+	if err != nil {
+		return fmt.Errorf("regenerate: %w", err)
+	}
+	if !bytes.Equal(data, fresh) {
+		return fmt.Errorf("regenerated checkpoint differs from artifact: artifact %s, regenerated %s (schedule drift — re-bless the golden artifact if intended)",
+			snap.ContentHash(data), snap.ContentHash(fresh))
+	}
+	return nil
+}

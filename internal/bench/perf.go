@@ -214,6 +214,58 @@ type PerfReport struct {
 	Figures                 []FigureTiming   `json:"figures,omitempty"`
 	Sweep                   *SweepComparison `json:"sweep,omitempty"`
 	Racks                   []RackPerf       `json:"racks,omitempty"`
+	Checkpoint              *CheckpointPerf  `json:"checkpoint,omitempty"`
+}
+
+// CheckpointPerf summarizes the warm-fork grid for BENCH_kernel.json:
+// snapshot codec cost, the straight-vs-forked wall clock at equal
+// cell count, and the fingerprint verdict. AllMatch is the
+// knob-not-dead signal benchdiff gates on — a grid whose forked cells
+// diverge (or that ran zero cells) means the restore path is broken
+// or dead.
+type CheckpointPerf struct {
+	Config        string  `json:"config"`
+	Cells         int     `json:"cells"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	SaveNs        int64   `json:"save_ns"`
+	RestoreNs     int64   `json:"restore_ns"` // mean per-cell restore
+	StraightMs    float64 `json:"straight_ms"`
+	ForkedMs      float64 `json:"forked_ms"`
+	Speedup       float64 `json:"speedup"`
+	AllMatch      bool    `json:"all_match"`
+}
+
+// RecordCheckpoint folds a warm-fork grid result into the report.
+func (r *PerfReport) RecordCheckpoint(res WarmForkResult) {
+	cp := &CheckpointPerf{
+		Config:        res.Config,
+		Cells:         len(res.Cells),
+		SnapshotBytes: res.SnapshotBytes,
+		SaveNs:        res.SaveNs,
+		StraightMs:    res.StraightMs,
+		ForkedMs:      res.ForkedMs,
+		Speedup:       res.Speedup,
+		AllMatch:      res.AllMatch && len(res.Cells) > 0,
+	}
+	for _, c := range res.Cells {
+		cp.RestoreNs += c.RestoreNs
+	}
+	if len(res.Cells) > 0 {
+		cp.RestoreNs /= int64(len(res.Cells))
+	}
+	r.Checkpoint = cp
+}
+
+// MeasureCheckpoint runs the default warm-fork grid and records it.
+func (r *PerfReport) MeasureCheckpoint() error {
+	cfg := DefaultWarmForkConfig()
+	cfg.Workers = r.Workers
+	res, err := RunWarmForkGrid(cfg)
+	if err != nil {
+		return err
+	}
+	r.RecordCheckpoint(res)
+	return nil
 }
 
 // NewPerfReport runs the kernel microbenchmarks and returns a report

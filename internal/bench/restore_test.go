@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"dcsctrl/internal/sim"
+)
+
+// TestRestoreRoundTrip restores a warm checkpoint into a fresh cluster
+// and re-snapshots it: the bytes must round-trip exactly.
+func TestRestoreRoundTrip(t *testing.T) {
+	cfg := DefaultWarmForkConfig()
+	cfg.WarmDuration = 3 * sim.Millisecond
+	cfg.Conns = 4
+	_, cl, sess, err := cfg.buildCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunPhaseSeed(0, cfg.WarmDuration, warmSeed); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl2, _, err := cfg.buildCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Restore(ckpt); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	ckpt2, err := cl2.Snapshot()
+	if err != nil {
+		t.Fatalf("re-snapshot: %v", err)
+	}
+	if len(ckpt) != len(ckpt2) {
+		t.Fatalf("sizes differ: %d vs %d", len(ckpt), len(ckpt2))
+	}
+	for i := range ckpt {
+		if ckpt[i] != ckpt2[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("differ at byte %d; context orig=%q restored=%q", i, ckpt[lo:i+20], ckpt2[lo:i+20])
+		}
+	}
+}

@@ -33,6 +33,28 @@ func runsOf(f *hostos.File, off, nbytes int) []ioRun {
 	return runs
 }
 
+// collectCompletion funnels one command-completion signal into the
+// caller's tally queue. Under handler procs the collector is a
+// run-to-completion machine (enrolls on the signal, fires the tally,
+// exits — no goroutine park/resume handoffs); otherwise it is the
+// classic goroutine form. Both enqueue exactly the same events.
+func (n *Node) collectCompletion(name string, sig *sim.Signal, done *sim.Queue[int]) {
+	if n.Env.HandlerProcs() {
+		n.Env.SpawnHandler(name, func(h *sim.HandlerCtx) {
+			if !sig.WaitH(h) {
+				return
+			}
+			done.Put(1)
+			h.Exit()
+		})
+	} else {
+		n.Env.Spawn(name, func(cp *sim.Proc) {
+			sig.Wait(cp)
+			done.Put(1)
+		})
+	}
+}
+
 // hostReadFile reads a file range to dst (any bus address the SSD may
 // DMA to: host DRAM always; GPU VRAM under SW-P2P) using the host
 // kernel storage path. Costs follow the configuration: the Vanilla
@@ -86,10 +108,7 @@ func (n *Node) hostReadFile(p *sim.Proc, bd *trace.Breakdown, f *hostos.File, of
 		}
 		sig := sim.NewSignal(n.Env)
 		n.submitHostNVMe(p, dev, false, r.lba, r.blocks, pages, sig)
-		n.Env.Spawn("read-collect", func(cp *sim.Proc) {
-			sig.Wait(cp)
-			done.Put(1)
-		})
+		n.collectCompletion("read-collect", sig, done)
 	}
 	n.Host.Exec(p, trace.CatInterrupt, hp.CtxSwitch, bd)
 	start := p.Now()
@@ -142,10 +161,7 @@ func (n *Node) hostWriteFile(p *sim.Proc, bd *trace.Breakdown, f *hostos.File, o
 		}
 		sig := sim.NewSignal(n.Env)
 		n.submitHostNVMe(p, dev, true, r.lba, r.blocks, pages, sig)
-		n.Env.Spawn("write-collect", func(cp *sim.Proc) {
-			sig.Wait(cp)
-			done.Put(1)
-		})
+		n.collectCompletion("write-collect", sig, done)
 	}
 	n.Host.Exec(p, trace.CatInterrupt, hp.CtxSwitch, bd)
 	start := p.Now()

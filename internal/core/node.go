@@ -439,15 +439,31 @@ func (n *Node) issueHostNVMe(p *sim.Proc, dev uint8, cmd nvme.Command, attempt i
 	for ring.Full() {
 		n.nvmeWait.Wait(p)
 	}
-	_, err := ring.Submit(cmd, func(cpl nvme.Completion) {
+	_, err := ring.Submit(cmd, n.hostNVMeCplFn(dev, cmd, attempt, done))
+	if err != nil {
+		panic(err)
+	}
+	ring.RingDoorbell()
+}
+
+// hostNVMeCplFn builds the completion callback for one attempt of a
+// host-driver command: success fires the caller's signal, a retryable
+// media error arranges a backed-off re-submission. Completion
+// callbacks run on the scheduler and cannot block, so the re-issue
+// runs in its own proc — a run-to-completion retry machine under
+// handler procs, a spawned goroutine proc otherwise (the two are
+// schedule-identical; the handler skips the goroutine park/resume
+// handoffs).
+func (n *Node) hostNVMeCplFn(dev uint8, cmd nvme.Command, attempt int, done *sim.Signal) func(nvme.Completion) {
+	if n.Env.HandlerProcs() {
+		return n.hostNVMeCplFnH(dev, cmd, attempt, done)
+	}
+	return func(cpl nvme.Completion) {
 		switch {
 		case cpl.Status == nvme.StatusSuccess:
 			done.Fire(nil)
 		case nvme.Retryable(cpl.Status) && attempt < hostNVMeMaxRetries:
 			n.hostNVMeRetries++
-			// Completion callbacks run on the scheduler and cannot
-			// block; a spawned process performs the backoff and the
-			// (potentially ring-full-blocking) re-submission.
 			n.Env.Spawn(fmt.Sprintf("%s-nvme%d-retry", n.Name, dev), func(rp *sim.Proc) {
 				rp.Sleep(hostNVMeRetryBackoff << uint(attempt))
 				n.issueHostNVMe(rp, dev, cmd, attempt+1, done)
@@ -455,11 +471,58 @@ func (n *Node) issueHostNVMe(p *sim.Proc, dev uint8, cmd nvme.Command, attempt i
 		default:
 			panic(fmt.Sprintf("core: nvme status %#x after %d attempts", cpl.Status, attempt+1))
 		}
-	})
-	if err != nil {
+	}
+}
+
+// hostNVMeCplFnH is the handler-proc flavor of hostNVMeCplFn: the
+// re-submission runs as a run-to-completion retry machine. It is a
+// separate constructor (rather than a branch inside the shared one)
+// so the machine's own re-submission path never reaches the goroutine
+// flavor's blocking Sleep even syntactically.
+func (n *Node) hostNVMeCplFnH(dev uint8, cmd nvme.Command, attempt int, done *sim.Signal) func(nvme.Completion) {
+	return func(cpl nvme.Completion) {
+		switch {
+		case cpl.Status == nvme.StatusSuccess:
+			done.Fire(nil)
+		case nvme.Retryable(cpl.Status) && attempt < hostNVMeMaxRetries:
+			n.hostNVMeRetries++
+			m := &nvmeRetryMachine{n: n, dev: dev, cmd: cmd, attempt: attempt + 1, done: done}
+			n.Env.SpawnHandler(fmt.Sprintf("%s-nvme%d-retry", n.Name, dev), m.run)
+		default:
+			panic(fmt.Sprintf("core: nvme status %#x after %d attempts", cpl.Status, attempt+1))
+		}
+	}
+}
+
+// nvmeRetryMachine is the handler-proc form of the retry spawn in
+// hostNVMeCplFn: first dispatch re-arms for the exponential backoff,
+// subsequent dispatches re-check ring space (enrolling on nvmeWait
+// exactly where a goroutine would park) and re-submit.
+type nvmeRetryMachine struct {
+	n       *Node
+	dev     uint8
+	cmd     nvme.Command
+	attempt int // attempt number of the re-submission being arranged
+	done    *sim.Signal
+	slept   bool
+}
+
+func (m *nvmeRetryMachine) run(h *sim.HandlerCtx) {
+	if !m.slept {
+		m.slept = true
+		h.Rearm(hostNVMeRetryBackoff << uint(m.attempt-1))
+		return
+	}
+	ring := m.n.nvmeRings[m.dev]
+	if ring.Full() {
+		m.n.nvmeWait.WaitH(h)
+		return
+	}
+	if _, err := ring.Submit(m.cmd, m.n.hostNVMeCplFnH(m.dev, m.cmd, m.attempt, m.done)); err != nil {
 		panic(err)
 	}
 	ring.RingDoorbell()
+	h.Exit()
 }
 
 // Fallbacks returns how many operations completed on the

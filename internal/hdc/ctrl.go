@@ -260,6 +260,11 @@ type NICCtrl struct {
 
 	conns map[uint64]*conn
 
+	// hdrNext rotates through the BRAM header-buffer slots; a field (not
+	// a sendLoop local) so a checkpoint restore resumes the rotation at
+	// the same slot and header writes stay byte-identical.
+	hdrNext int
+
 	sendJobs, recvPkts int64
 	gatheredBytes      int64
 }
@@ -374,7 +379,6 @@ func (c *NICCtrl) onStatus() {
 // BRAM header buffer, BD chain construction, doorbell.
 func (c *NICCtrl) sendLoop(p *sim.Proc) {
 	hdrSlots := int(c.hdrBuf.Size / 64)
-	hdrNext := 0
 	for {
 		// Drain every send queued by this instant into one batch: the
 		// header-generation cost is charged in a single sleep and the
@@ -398,8 +402,8 @@ func (c *NICCtrl) sendLoop(p *sim.Proc) {
 			}
 			hdr := ether.HeaderTemplateTo(c.hdrScratch, cn.flow, cn.txSeq, ether.FlagACK|ether.FlagPSH)
 			c.hdrScratch = hdr
-			slotAddr := c.hdrBuf.Base + mem.Addr(hdrNext*64)
-			hdrNext = (hdrNext + 1) % hdrSlots
+			slotAddr := c.hdrBuf.Base + mem.Addr(c.hdrNext*64)
+			c.hdrNext = (c.hdrNext + 1) % hdrSlots
 			c.eng.fab.Mem().Write(slotAddr, hdr)
 			cn.txSeq += uint32(r.length)
 

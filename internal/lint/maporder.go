@@ -117,25 +117,40 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) 
 	})
 }
 
-// checkWriterCall flags Write/WriteString/... method calls on a
-// writer declared outside the loop (strings.Builder, bytes.Buffer,
-// io.Writer): each iteration appends to shared output, so the order
-// of iterations is the order of the output.
+// checkWriterCall flags method calls inside a map range that append
+// to position-significant output owned outside the loop: the
+// Write/WriteString/... family (strings.Builder, bytes.Buffer,
+// io.Writer) and every encode method of the checkpoint codec's
+// snap.Writer. Each iteration appends to shared output, so the order
+// of iterations is the order of the output — for the snap codec that
+// means the snapshot bytes themselves become schedule lottery.
 func checkWriterCall(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return
 	}
-	switch sel.Sel.Name {
-	case "Write", "WriteString", "WriteByte", "WriteRune":
-	default:
-		return
+	fn := calleeFunc(pass.TypesInfo, call)
+	snapCodec := fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == SnapCodecPath &&
+		recvTypeName(fn) == "Writer"
+	if !snapCodec {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+		default:
+			return
+		}
 	}
 	if _, isMethod := pass.TypesInfo.Selections[sel]; !isMethod {
 		return
 	}
 	obj := baseObject(pass.TypesInfo, sel.X)
 	if obj == nil || declaredWithin(obj, rng) {
+		return
+	}
+	if snapCodec {
+		pass.Reportf(call.Pos(),
+			"snap codec %s.%s inside a map range encodes map-keyed state in randomized "+
+				"order, so the snapshot bytes differ run to run; %s",
+			obj.Name(), sel.Sel.Name, mapOrderFix)
 		return
 	}
 	pass.Reportf(call.Pos(),

@@ -9,6 +9,13 @@ const ModulePath = "dcsctrl"
 // and channels are allowed, and the home of the sim.Time type.
 const SimKernelPath = ModulePath + "/internal/sim"
 
+// SnapCodecPath is the checkpoint codec package. Its Writer appends
+// to a position-significant byte stream, so every encode call made
+// while ranging a map leaks the randomized iteration order straight
+// into the snapshot bytes — and snapshot bytes must be identical run
+// to run (DESIGN.md §17).
+const SnapCodecPath = SimKernelPath + "/snap"
+
 // ShardKernelPath is the conservative-parallel shard kernel. It is
 // kernel infrastructure, not model code: its worker pool dispatches
 // whole domains between lookahead barriers, and its determinism is

@@ -1,0 +1,87 @@
+// Snapshot-codec cases: checkpoint encoders walk map-keyed device
+// state (queue pairs by QID, flash blocks by LBA) into snap.Writer's
+// length-prefixed byte stream, where every byte's POSITION is
+// meaningful — a restore replays the stream into a fresh cluster and
+// CI compares the bytes against a golden artifact. Ranging the map
+// while encoding lets Go's randomized iteration order pick the byte
+// order; the legal spelling is the collect/sort/index idiom the real
+// snapshotters use (sim.SortedKeys).
+package maporder
+
+import (
+	"sort"
+
+	"dcsctrl/internal/sim/snap"
+)
+
+type qpState struct {
+	sqHead int
+	cqTail int
+}
+
+// saveQPsUnsorted encodes queue pairs in map order: two snapshots of
+// the same simulation produce different checkpoint bytes, and the
+// restore overlay applies them in a different order.
+func saveQPsUnsorted(w *snap.Writer, qps map[uint16]*qpState) {
+	w.Int(len(qps))
+	for qid, qp := range qps {
+		w.U16(qid)       // want `snap codec w\.U16 inside a map range encodes map-keyed state in randomized order`
+		w.Int(qp.sqHead) // want `snap codec w\.Int inside a map range`
+		w.Int(qp.cqTail) // want `snap codec w\.Int inside a map range`
+	}
+}
+
+// saveQPsSorted is the canonical collect/sort/index encode:
+// deterministic bytes no matter the map's insertion history.
+func saveQPsSorted(w *snap.Writer, qps map[uint16]*qpState) {
+	qids := make([]uint16, 0, len(qps))
+	for qid := range qps {
+		qids = append(qids, qid)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	w.Int(len(qids))
+	for _, qid := range qids {
+		qp := qps[qid]
+		w.U16(qid)
+		w.Int(qp.sqHead)
+		w.Int(qp.cqTail)
+	}
+}
+
+// saveFlashUnsorted streams flash blocks in map order — same bug
+// through a different encode method.
+func saveFlashUnsorted(w *snap.Writer, flash map[uint64][]byte) {
+	w.Int(len(flash))
+	for lba, blk := range flash {
+		w.U64(lba)   // want `snap codec w\.U64 inside a map range encodes map-keyed state in randomized order`
+		w.Bytes(blk) // want `snap codec w\.Bytes inside a map range`
+	}
+}
+
+// saveFlashSorted collects LBAs, sorts, and indexes back into the map
+// while encoding.
+func saveFlashSorted(w *snap.Writer, flash map[uint64][]byte) {
+	lbas := make([]uint64, 0, len(flash))
+	for lba := range flash {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	w.Int(len(lbas))
+	for _, lba := range lbas {
+		w.U64(lba)
+		w.Bytes(flash[lba])
+	}
+}
+
+// loadFlash decodes what saveFlashSorted wrote. Decoding never ranges
+// a map, so there is nothing for the analyzer here — it exists so the
+// fixture round-trips conceptually.
+func loadFlash(r *snap.Reader) map[uint64][]byte {
+	n := r.Int()
+	flash := make(map[uint64][]byte, n)
+	for i := 0; i < n; i++ {
+		lba := r.U64()
+		flash[lba] = r.Bytes()
+	}
+	return flash
+}

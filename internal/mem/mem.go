@@ -66,6 +66,16 @@ type Region struct {
 	data      []byte
 	writeHook func(off uint64, n int)
 	allocOff  uint64 // bump allocator cursor
+
+	// hiWater bounds the bytes that may be non-zero: every write path
+	// (WriteAt, Copy) raises it past the written span, and the region
+	// starts zeroed, so [hiWater, Size) is guaranteed zero. Checkpoint
+	// save scans only the live prefix and restore only scrubs it —
+	// regions are sized like hardware (hundreds of megabytes across a
+	// cluster) while live content is typically a few percent. Writes
+	// through View bypass the watermark exactly as they bypass the
+	// write hook; both are why View is documented read-only.
+	hiWater uint64
 }
 
 // Contains reports whether addr falls inside the region.
@@ -99,6 +109,9 @@ func (r *Region) check(off uint64, n int) {
 // WriteAt copies p into the region at off and fires the write hook.
 func (r *Region) WriteAt(off uint64, p []byte) {
 	r.check(off, len(p))
+	if end := off + uint64(len(p)); end > r.hiWater {
+		r.hiWater = end
+	}
 	copy(r.data[off:], p)
 	if r.writeHook != nil {
 		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free
@@ -290,6 +303,9 @@ func (m *Map) Copy(dst, src Addr, n int) {
 	sr.check(soff, n)
 	dr, doff := m.MustResolve(dst)
 	dr.check(doff, n)
+	if end := doff + uint64(n); end > dr.hiWater {
+		dr.hiWater = end
+	}
 	copy(dr.data[doff:doff+uint64(n)], sr.data[soff:soff+uint64(n)])
 	if dr.writeHook != nil {
 		//dcslint:allow noalloc hook bodies are model code vetted by shardsafe; benched paths run hook-free

@@ -267,6 +267,23 @@ func (s *SSD) qpLoop(p *sim.Proc, qp *devQP) {
 	}
 }
 
+// PrimeExecPool rebuilds the exec worker pool population after a
+// snapshot restore: n workers parked on the job queue, exactly as the
+// checkpointed device had. The pool population is schedule state — a
+// Put into a pool with parked workers can chain-wake them, which an
+// empty pool's Spawn path never does — so the restore must reproduce
+// it, not merely rely on per-job event parity. The caller runs the
+// environment to quiescence afterwards so the workers reach their
+// park points before simulated time resumes.
+func (s *SSD) PrimeExecPool(n int) {
+	for i := 0; i < n; i++ {
+		s.execIdle++
+		s.env.Spawn(s.Name+"-exec", func(ep *sim.Proc) {
+			s.execWorker(ep, s.execJobs.Get(ep))
+		})
+	}
+}
+
 // execWorker runs fetched commands for the lifetime of the SSD,
 // parking on the job queue between commands. The PRP-page and
 // DMA-extent scratch slices live for the worker's lifetime, so

@@ -369,6 +369,34 @@ func (f *Fabric) DMAAsync(initiator *Port, dst, src mem.Addr, n int) *sim.Signal
 	return sig
 }
 
+// PrimeAsyncPool rebuilds the async-DMA worker pool population after
+// a snapshot restore: n workers parked on the job queue, exactly as
+// the checkpointed fabric had. A restored pool must not be left empty
+// — a Put into a pool with parked workers can chain-wake them
+// (spurious re-parking dispatches), so an empty pool and a populated
+// one produce different dispatch counts. The caller runs the
+// environment to quiescence afterwards so the workers reach their
+// park points before simulated time resumes.
+func (f *Fabric) PrimeAsyncPool(n int) {
+	for i := 0; i < n; i++ {
+		f.asyncIdle++
+		if f.env.HandlerProcs() {
+			w := &dmaWorker{f: f}
+			f.env.SpawnHandler("dma-async", w.run)
+			continue
+		}
+		f.env.Spawn("dma-async", func(p *sim.Proc) {
+			job := f.asyncJobs.Get(p)
+			for {
+				f.MustDMA(p, job.initiator, job.dst, job.src, job.n)
+				job.sig.Fire(nil)
+				f.asyncIdle++
+				job = f.asyncJobs.Get(p)
+			}
+		})
+	}
+}
+
 // RecycleAsyncSignal returns a consumed DMAAsync completion signal to
 // the free list. Optional — callers that retain the signal simply let
 // the GC have it — but hot async paths (the NIC receive engine) call

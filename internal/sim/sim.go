@@ -86,8 +86,9 @@ type Env struct {
 	running bool // a Run is in progress (re-entrancy guard)
 
 	yield chan struct{} // end-of-chain signal back to the Run caller
-	live  int           // processes spawned and not yet terminated
-	steps uint64        // events dispatched (diagnostics)
+
+	live  int    // processes spawned and not yet terminated
+	steps uint64 // events dispatched (diagnostics)
 
 	fuse       bool         // zero-delay fusion enabled (Chain inline, Yield fast path)
 	hproc      bool         // converted model paths spawn handler procs

@@ -1,0 +1,229 @@
+package snap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testSeed pins the quick-check PRNG so failures reproduce exactly
+// (the repo-wide convention from sim_test.go).
+const testSeed = 1
+
+// roundTripPayload is one randomly generated section payload: a mixed
+// sequence of primitive values plus a sparse byte span.
+type roundTripPayload struct {
+	A   uint8
+	B   uint16
+	C   uint32
+	D   uint64
+	E   int64
+	F   bool
+	S   string
+	Raw []byte
+}
+
+func encodePayload(w *Writer, p roundTripPayload, span []byte) {
+	w.Section("payload")
+	w.U8(p.A)
+	w.U16(p.B)
+	w.U32(p.C)
+	w.U64(p.D)
+	w.I64(p.E)
+	w.Bool(p.F)
+	w.Str(p.S)
+	w.Bytes(p.Raw)
+	w.SparseBytes(span)
+	w.EndSection()
+}
+
+// TestEncodeDecodeEncodeByteEquality is the core codec property:
+// encode → decode → re-encode must reproduce the identical bytes for
+// arbitrary payloads, so checkpoints are content-addressable.
+func TestEncodeDecodeEncodeByteEquality(t *testing.T) {
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(testSeed)), MaxCount: 200}
+	f := func(p roundTripPayload, pages []byte, hdrCfg uint64, flags uint32) bool {
+		// Build a sparse span: a few KiB with the random bytes strewn
+		// across page boundaries so zero and non-zero pages both occur.
+		span := make([]byte, 3*4096+123)
+		for i, b := range pages {
+			span[(i*911)%len(span)] = b
+		}
+		w := NewWriter(Header{Version: Version, Flags: flags, Config: hdrCfg})
+		encodePayload(w, p, span)
+		data := w.Finish()
+
+		r, h, err := Open(data)
+		if err != nil {
+			t.Logf("open: %v", err)
+			return false
+		}
+		if h.Flags != flags || h.Config != hdrCfg {
+			return false
+		}
+		if err := r.Section("payload"); err != nil {
+			return false
+		}
+		var q roundTripPayload
+		q.A, q.B, q.C, q.D = r.U8(), r.U16(), r.U32(), r.U64()
+		q.E, q.F, q.S, q.Raw = r.I64(), r.Bool(), r.Str(), r.Bytes()
+		span2 := make([]byte, len(span))
+		if err := r.LoadSparseBytes(span2); err != nil {
+			return false
+		}
+		if err := r.EndSection(); err != nil {
+			return false
+		}
+		if !bytes.Equal(span, span2) {
+			return false
+		}
+
+		w2 := NewWriter(Header{Version: Version, Flags: flags, Config: hdrCfg})
+		encodePayload(w2, q, span2)
+		return bytes.Equal(data, w2.Finish())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationRejected flips through every possible truncation point
+// of a valid checkpoint: all must be rejected, either at Open (digest
+// or envelope) or as a sticky reader error before the decode finishes.
+func TestTruncationRejected(t *testing.T) {
+	w := NewWriter(Header{Version: Version})
+	w.Section("s")
+	w.Str("hello")
+	w.U64(42)
+	w.EndSection()
+	data := w.Finish()
+
+	for n := 0; n < len(data); n++ {
+		if _, _, err := Open(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestCorruptionRejected flips single bits across the buffer: every
+// corruption must fail the digest check.
+func TestCorruptionRejected(t *testing.T) {
+	w := NewWriter(Header{Version: Version})
+	w.Section("s")
+	w.Bytes([]byte{1, 2, 3, 4})
+	w.EndSection()
+	data := w.Finish()
+
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit += 3 {
+			c := append([]byte(nil), data...)
+			c[i] ^= 1 << bit
+			if _, _, err := Open(c); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, bit)
+			}
+		}
+	}
+}
+
+// TestVersionRejected: a future version must be refused.
+func TestVersionRejected(t *testing.T) {
+	w := NewWriter(Header{Version: Version + 1})
+	w.Section("s")
+	w.EndSection()
+	if _, _, err := Open(w.Finish()); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestSectionOrderEnforced: reading sections out of order fails.
+func TestSectionOrderEnforced(t *testing.T) {
+	w := NewWriter(Header{Version: Version})
+	w.Section("a")
+	w.U8(1)
+	w.EndSection()
+	w.Section("b")
+	w.U8(2)
+	w.EndSection()
+	r, _, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Section("b"); err == nil {
+		t.Fatal("out-of-order section accepted")
+	}
+}
+
+// TestShortSectionConsumptionRejected: a Load that leaves bytes behind
+// is a layout bug, not a tolerable condition.
+func TestShortSectionConsumptionRejected(t *testing.T) {
+	w := NewWriter(Header{Version: Version})
+	w.Section("s")
+	w.U64(1)
+	w.U64(2)
+	w.EndSection()
+	r, _, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Section("s"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U64()
+	if err := r.EndSection(); err == nil {
+		t.Fatal("short consumption accepted")
+	}
+}
+
+// TestOverReadStopsAtSectionEnd: reads past the section boundary fail
+// rather than bleeding into the next section.
+func TestOverReadStopsAtSectionEnd(t *testing.T) {
+	w := NewWriter(Header{Version: Version})
+	w.Section("a")
+	w.U8(1)
+	w.EndSection()
+	w.Section("b")
+	w.U64(7)
+	w.EndSection()
+	r, _, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Section("a"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U8()
+	_ = r.U64() // crosses the boundary
+	if r.Err() == nil {
+		t.Fatal("over-read crossed section boundary")
+	}
+}
+
+// TestSparseAuthoritative: LoadSparseBytes must zero pre-existing
+// destination bytes that the snapshot recorded as zero.
+func TestSparseAuthoritative(t *testing.T) {
+	src := make([]byte, 2*4096)
+	src[4096+5] = 0xAB // page 1 non-zero, page 0 all zero
+	w := NewWriter(Header{Version: Version})
+	w.Section("m")
+	w.SparseBytes(src)
+	w.EndSection()
+	r, _, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Section("m"); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	dst[17] = 0xFF // stale byte in a zero page: must be cleared
+	if err := r.LoadSparseBytes(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EndSection(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Fatal("sparse restore is not an authoritative image")
+	}
+}

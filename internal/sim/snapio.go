@@ -1,0 +1,68 @@
+package sim
+
+import "dcsctrl/internal/sim/snap"
+
+// Shared encode/decode helpers for the checkpoint states defined in
+// checkpoint.go, so every device snapshot encodes accounting the same
+// way (and a hex dump of any section reads uniformly).
+
+// SaveAccum encodes a resource utilization accumulator.
+func SaveAccum(w *snap.Writer, s AccumState) {
+	w.I64(int64(s.Busy))
+	w.I64(int64(s.LastStamp))
+}
+
+// LoadAccum decodes a resource utilization accumulator.
+func LoadAccum(r *snap.Reader) AccumState {
+	return AccumState{Busy: Time(r.I64()), LastStamp: Time(r.I64())}
+}
+
+// SaveBW encodes a bandwidth-server accounting state.
+func SaveBW(w *snap.Writer, s BWState) {
+	SaveAccum(w, s.Accum)
+	w.I64(s.Bytes)
+	w.I64(s.Xfers)
+}
+
+// LoadBW decodes a bandwidth-server accounting state.
+func LoadBW(r *snap.Reader) BWState {
+	return BWState{Accum: LoadAccum(r), Bytes: r.I64(), Xfers: r.I64()}
+}
+
+// CheckpointBWInto captures the server's accounting and encodes it.
+func CheckpointBWInto(w *snap.Writer, b *BandwidthServer) error {
+	s, err := b.CheckpointBW()
+	if err != nil {
+		return err
+	}
+	SaveBW(w, s)
+	return nil
+}
+
+// RestoreBWFrom decodes a bandwidth-server state and overlays it.
+func RestoreBWFrom(r *snap.Reader, b *BandwidthServer) error {
+	s := LoadBW(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return b.RestoreBW(s)
+}
+
+// CheckpointAccumInto captures the resource's accounting and encodes it.
+func CheckpointAccumInto(w *snap.Writer, res *Resource) error {
+	s, err := res.CheckpointAccum()
+	if err != nil {
+		return err
+	}
+	SaveAccum(w, s)
+	return nil
+}
+
+// RestoreAccumFrom decodes a resource accounting state and overlays it.
+func RestoreAccumFrom(r *snap.Reader, res *Resource) error {
+	s := LoadAccum(r)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return res.RestoreAccum(s)
+}
